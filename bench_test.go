@@ -1,0 +1,183 @@
+package tdcache
+
+// The benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation (see DESIGN.md's per-experiment index). Each
+// benchmark regenerates its artifact at the reduced Quick scale and
+// reports the artifact's headline number as a custom metric, so
+// `go test -bench=. -benchmem` doubles as a fast end-to-end reproduction
+// sweep. cmd/tdcache-experiments runs the same experiments at full
+// scale.
+
+import (
+	"testing"
+
+	"tdcache/internal/core"
+	"tdcache/internal/cpu"
+	"tdcache/internal/experiments"
+	"tdcache/internal/workload"
+)
+
+// benchParams is shared across benchmarks so Monte-Carlo studies and
+// ideal baselines are computed once per `go test -bench` process.
+var benchParams = experiments.QuickParams()
+
+func BenchmarkFig1ReuseDistance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig1(benchParams)
+		b.ReportMetric(r.Within6K, "within6K")
+	}
+}
+
+func BenchmarkFig4AccessCurve(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig4(benchParams)
+		b.ReportMetric(r.NominalRetUS, "nominal-ret-us")
+		b.ReportMetric(r.WeakRetUS, "weak-ret-us")
+	}
+}
+
+func BenchmarkFig6a6TFrequency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig6a(benchParams)
+		b.ReportMetric(r.Median1X, "median-1x-freq")
+		b.ReportMetric(r.Median2X, "median-2x-freq")
+	}
+}
+
+func BenchmarkFig6bGlobalRefresh(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig6b(benchParams)
+		last := len(r.MeanPerf) - 1
+		b.ReportMetric(r.MeanPerf[last], "perf-at-3094ns")
+		b.ReportMetric(r.TotalDyn[0], "dyn-at-476ns")
+	}
+}
+
+func BenchmarkFig7Leakage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig7(benchParams)
+		b.ReportMetric(r.Over1p5x6T, "6T-over-1.5x")
+		b.ReportMetric(r.OverGolden3T1D, "3T1D-over-golden")
+	}
+}
+
+func BenchmarkTable3Nodes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table3(benchParams)
+		for _, row := range r.Rows {
+			if row.Node == "32nm" {
+				b.ReportMetric(row.TDBIPS/row.IdealBIPS, "3T1D-rel-BIPS-32nm")
+				b.ReportMetric(row.TDLeakMW/row.IdealLeakMW, "3T1D-rel-leak-32nm")
+			}
+		}
+	}
+}
+
+func BenchmarkFig8LineRetention(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig8(benchParams)
+		b.ReportMetric(r.BadDead, "bad-chip-dead-frac")
+		b.ReportMetric(r.DiscardRate, "global-discard-rate")
+	}
+}
+
+func BenchmarkFig9SchemeMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig9(benchParams)
+		// Bad-chip performance of no-refresh/LRU (index 0) versus
+		// RSP-FIFO (index 6): the paper's headline contrast.
+		b.ReportMetric(r.Perf[2][0], "bad-noRefLRU")
+		b.ReportMetric(r.Perf[2][6], "bad-RSPFIFO")
+	}
+}
+
+func BenchmarkFig10HundredChips(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig10(benchParams)
+		b.ReportMetric(r.MinPerf[2], "worst-chip-RSPFIFO")
+		b.ReportMetric(r.MaxPower[2], "max-power-RSPFIFO")
+	}
+}
+
+func BenchmarkFig11Associativity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig11(benchParams)
+		// Bad chip, RSP-FIFO advantage over no-refresh/LRU at 4 ways.
+		b.ReportMetric(r.Perf[2][2][2]-r.Perf[2][0][2], "bad-4way-RSP-gain")
+	}
+}
+
+func BenchmarkFig12Sensitivity(b *testing.B) {
+	p := experiments.QuickParams()
+	p.Benchmarks = []string{"gzip", "fma3d"}
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig12(p)
+		if r.CliffObserved() {
+			b.ReportMetric(1, "cliff-observed")
+		} else {
+			b.ReportMetric(0, "cliff-observed")
+		}
+	}
+}
+
+func BenchmarkGlobalRefreshNoVariation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.GlobalRefreshNoVariation(benchParams)
+		b.ReportMetric(r.NormalizedPerf, "normalized-perf")
+		b.ReportMetric(r.BandwidthFrac, "refresh-bandwidth")
+	}
+}
+
+// --- Component micro-benchmarks ---
+
+// BenchmarkCacheAccess measures the raw cost of the L1 model's
+// access path (hit case).
+func BenchmarkCacheAccess(b *testing.B) {
+	cache, err := core.New(core.DefaultConfig(core.NoRefreshLRU), core.IdealRetention(1024))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cache.Tick(0)
+	cache.Fill(0x1000, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cache.Tick(int64(i + 1))
+		cache.Access(0x1000, core.Load)
+	}
+}
+
+// BenchmarkPipelineCycle measures whole-system simulation throughput in
+// cycles per second.
+func BenchmarkPipelineCycle(b *testing.B) {
+	prof, _ := workload.ByName("gzip")
+	cache, err := core.New(core.DefaultConfig(core.NoRefreshLRU), core.IdealRetention(1024))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := cpu.NewSystem(cpu.DefaultConfig(), cache, cpu.NewL2(cpu.DefaultL2()), workload.NewGenerator(prof, 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Step()
+	}
+}
+
+// BenchmarkChipRetentionMap measures the Monte-Carlo per-chip retention
+// evaluation (the dominant circuit-model cost).
+func BenchmarkChipRetentionMap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		chip := SampleChip(Severe, uint64(i+1))
+		if chip.Retention == nil {
+			b.Fatal("no retention map")
+		}
+	}
+}
+
+// BenchmarkWorkloadGenerator measures instruction-stream generation.
+func BenchmarkWorkloadGenerator(b *testing.B) {
+	prof, _ := workload.ByName("mcf")
+	g := workload.NewGenerator(prof, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}

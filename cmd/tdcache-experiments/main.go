@@ -1,0 +1,67 @@
+// Command tdcache-experiments regenerates the tables and figures of the
+// paper's evaluation section.
+//
+// Usage:
+//
+//	tdcache-experiments -experiment all
+//	tdcache-experiments -experiment fig9 -chips 100 -instructions 200000
+//	tdcache-experiments -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tdcache"
+)
+
+func main() {
+	var (
+		experiment   = flag.String("experiment", "all", "experiment ID (fig1..fig12, tab1..tab3, sec4.1) or 'all'")
+		list         = flag.Bool("list", false, "list experiment IDs and exit")
+		chips        = flag.Int("chips", 0, "Monte-Carlo population for architecture studies (default 100)")
+		distChips    = flag.Int("dist-chips", 0, "population for distribution-only studies (default 300)")
+		instructions = flag.Uint64("instructions", 0, "instructions per benchmark run (default 200000)")
+		seed         = flag.Uint64("seed", 0, "root random seed")
+		benchmarks   = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all eight)")
+		quick        = flag.Bool("quick", false, "use the reduced smoke-test configuration")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range tdcache.Experiments() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	p := tdcache.DefaultExperimentParams()
+	if *quick {
+		p = tdcache.QuickExperimentParams()
+	}
+	if *chips > 0 {
+		p.Chips = *chips
+	}
+	if *distChips > 0 {
+		p.DistChips = *distChips
+	}
+	if *instructions > 0 {
+		p.Instructions = *instructions
+	}
+	if *seed != 0 {
+		p.Seed = *seed
+	}
+	if *benchmarks != "" {
+		p.Benchmarks = strings.Split(*benchmarks, ",")
+	}
+
+	start := time.Now()
+	if err := tdcache.RunExperiment(*experiment, p, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "[%s in %v]\n", *experiment, time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,88 @@
+// custom-policy: the library is not locked to the paper's Monte-Carlo
+// chips — build a cache from any retention map you like. Here: a
+// synthetic "half the cache is fast, half is slow" floorplan, evaluated
+// under two schemes and two cache organizations.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tdcache"
+)
+
+func main() {
+	const instructions = 150_000
+
+	// Hand-built retention map: ways 0-1 (lines 0..511) retain 20K
+	// cycles; ways 2-3 retain only 3K cycles. Line l maps to
+	// (set = l mod Sets, way = l div Sets).
+	ret := make(tdcache.RetentionMap, 1024)
+	for l := range ret {
+		if l < 512 {
+			ret[l] = 20480
+		} else {
+			ret[l] = 3072
+		}
+	}
+
+	ideal, err := tdcache.NewSystem(tdcache.SystemOptions{Benchmark: "gcc"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := ideal.Run(instructions).IPC
+
+	for _, sch := range []tdcache.Scheme{
+		tdcache.NoRefreshLRU,
+		tdcache.RSPFIFO,
+		{Refresh: tdcache.RefreshPartial, Placement: tdcache.PlaceLRU},
+	} {
+		sys, err := tdcache.NewSystem(tdcache.SystemOptions{
+			Benchmark: "gcc",
+			Scheme:    sch,
+			Retention: ret,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := sys.Run(instructions)
+		fmt.Printf("%-26s perf %.3f   refresh ops %6d   expiry evictions %6d\n",
+			sch, res.IPC/base, res.Cache.RefreshOps(),
+			res.Cache.ExpiryInvalidates+res.Cache.ExpiryWritebacks)
+	}
+
+	// The same map on a 2-way organization (512 sets × 2 ways): every
+	// set now pairs one fast way with one slow way.
+	cfg := tdcache.CacheConfig{}
+	_ = cfg
+	sys, err := tdcache.NewSystem(tdcache.SystemOptions{
+		Benchmark: "gcc",
+		Scheme:    tdcache.RSPFIFO,
+		Retention: ret,
+		Cache:     custom2Way(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := sys.Run(instructions)
+	fmt.Printf("%-26s perf %.3f   (2-way organization, same 64 KB)\n",
+		"RSP-FIFO @ 512x2", res.IPC/base)
+}
+
+// custom2Way builds a 512-set × 2-way 64 KB configuration.
+func custom2Way() *tdcache.CacheConfig {
+	cfg := defaultConfig()
+	cfg.Sets = 512
+	cfg.Ways = 2
+	return &cfg
+}
+
+func defaultConfig() tdcache.CacheConfig {
+	// Start from the paper's defaults via a throwaway system... the
+	// facade exposes the config type directly:
+	sys, err := tdcache.NewSystem(tdcache.SystemOptions{Benchmark: "gcc"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return sys.Cache.Config()
+}

@@ -1,0 +1,45 @@
+// variation-sweep: scale process-variation severity continuously from
+// zero to beyond the paper's "severe" scenario and watch the 3T1D
+// cache's vital signs — retention, dead lines, 6T frequency loss — and
+// the resulting system performance under RSP-FIFO.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tdcache"
+)
+
+func main() {
+	const instructions = 150_000
+	bench := "twolf"
+
+	ideal, err := tdcache.NewSystem(tdcache.SystemOptions{Benchmark: bench})
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := ideal.Run(instructions).IPC
+
+	fmt.Printf("sweeping variation severity (×severe scenario), benchmark %s\n\n", bench)
+	fmt.Printf("%-8s %14s %10s %10s %10s %12s\n",
+		"scale", "retention(ns)", "dead", "6T freq", "3T1D perf", "counter N")
+	for _, k := range []float64{0.25, 0.5, 0.75, 1.0, 1.25, 1.5} {
+		sc := tdcache.Severe.Scaled(k)
+		study := tdcache.SampleChips(tdcache.Node32, sc, 7, 6)
+		_, medianIdx, _ := study.GoodMedianBad()
+		chip := &study.Chips[medianIdx]
+		sys, err := tdcache.NewSystem(tdcache.SystemOptions{
+			Benchmark: bench, Scheme: tdcache.RSPFIFO, Chip: chip,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rel := sys.Run(instructions).IPC / base
+		fmt.Printf("%-8.2f %14.0f %9.1f%% %10.3f %10.3f %12d\n",
+			k, chip.MeanAliveNS, 100*chip.DeadFrac, chip.Freq1X, rel, chip.CounterStep)
+	}
+	fmt.Println("\n(A 6T cache's frequency — and hence performance — degrades with variation;")
+	fmt.Println(" the 3T1D cache absorbs the same variation into retention time and the")
+	fmt.Println(" retention-sensitive scheme keeps performance nearly flat.)")
+}

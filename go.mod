@@ -1,0 +1,3 @@
+module tdcache
+
+go 1.22

@@ -1,0 +1,208 @@
+package circuit
+
+// Calibration tests: these lock the model constants to the anchor values
+// the paper publishes. If a constant in tech.go drifts, these fail. The
+// bands are deliberately generous — the reproduction target is the shape
+// of each distribution, not Hspice-exact numbers (see DESIGN.md §5).
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+
+	"tdcache/internal/stats"
+	"tdcache/internal/variation"
+)
+
+// chipSummary is the per-chip output of the shared Monte-Carlo pass.
+type chipSummary struct {
+	cacheRetNS float64
+	deadFrac   float64
+	freq1x     float64
+	freq2x     float64
+	leak6T     float64
+	leak3T     float64
+}
+
+func summarize(t *testing.T, sc variation.Scenario, n int, deadCycles float64) []chipSummary {
+	t.Helper()
+	chips := variation.Population(4242, n, sc, L1D.TileCols, L1D.TileRows)
+	out := make([]chipSummary, n)
+	deadThresh := deadCycles * Node32.CycleSeconds()
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.NumCPU())
+	for i, c := range chips {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, c *variation.Chip) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			e := NewChipEval(Node32, L1D, c)
+			m := e.RetentionMap()
+			minR, dead := math.Inf(1), 0
+			for _, r := range m {
+				if r < minR {
+					minR = r
+				}
+				if r < deadThresh {
+					dead++
+				}
+			}
+			out[i] = chipSummary{
+				cacheRetNS: minR * 1e9,
+				deadFrac:   float64(dead) / float64(len(m)),
+				freq1x:     e.SRAMFrequencyFactor(SRAM1X),
+				freq2x:     e.SRAMFrequencyFactor(SRAM2X),
+				leak6T:     e.SRAMLeakageFactor(SRAM1X),
+				leak3T:     e.Leakage3T1DFactor(),
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	return out
+}
+
+func column(s []chipSummary, f func(chipSummary) float64) []float64 {
+	out := make([]float64, len(s))
+	for i, c := range s {
+		out[i] = f(c)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+func TestCalibrationTypicalVariation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo calibration is expensive")
+	}
+	s := summarize(t, variation.Typical, 48, 2048)
+
+	// Fig. 6b: typical-variation cache retention spread 476-3094 ns with
+	// a median near 1900 ns. Band: median in [1300, 3100] ns.
+	ret := column(s, func(c chipSummary) float64 { return c.cacheRetNS })
+	if med := stats.Quantile(ret, 0.5); med < 1300 || med > 3100 {
+		t.Errorf("typical cache retention median = %.0f ns, want in [1300, 3100]", med)
+	}
+	// The large majority of typical chips have no dead lines at all.
+	deadChips := 0
+	for _, c := range s {
+		if c.deadFrac > 0 {
+			deadChips++
+		}
+	}
+	if frac := float64(deadChips) / float64(len(s)); frac > 0.25 {
+		t.Errorf("typical chips with dead lines = %.2f, want <= 0.25", frac)
+	}
+
+	// Fig. 6a: most 1X 6T chips lose 10-20%% of frequency.
+	f1 := column(s, func(c chipSummary) float64 { return c.freq1x })
+	if med := stats.Quantile(f1, 0.5); med < 0.78 || med > 0.92 {
+		t.Errorf("1X 6T median frequency = %.3f, want in [0.78, 0.92]", med)
+	}
+	// 2X cells recover most of the loss.
+	f2 := column(s, func(c chipSummary) float64 { return c.freq2x })
+	med1, med2 := stats.Quantile(f1, 0.5), stats.Quantile(f2, 0.5)
+	if med2 <= med1+0.03 {
+		t.Errorf("2X (%.3f) should clearly beat 1X (%.3f)", med2, med1)
+	}
+	if med2 < 0.88 {
+		t.Errorf("2X median frequency = %.3f, want >= 0.88", med2)
+	}
+
+	// Fig. 7: a large share of 1X 6T chips exceed 1.5x golden leakage and
+	// the tail reaches high multiples; 3T1D stays mostly below golden.
+	l6 := column(s, func(c chipSummary) float64 { return c.leak6T })
+	over15 := 0
+	for _, v := range l6 {
+		if v > 1.5 {
+			over15++
+		}
+	}
+	if frac := float64(over15) / float64(len(l6)); frac < 0.35 {
+		t.Errorf("6T chips above 1.5x leakage = %.2f, want >= 0.35", frac)
+	}
+	l3 := column(s, func(c chipSummary) float64 { return c.leak3T })
+	if med := stats.Quantile(l3, 0.5); med < 0.2 || med > 0.55 {
+		t.Errorf("3T1D median leakage = %.2f x golden 6T, want in [0.2, 0.55]", med)
+	}
+	overGolden := 0
+	for _, v := range l3 {
+		if v > 1 {
+			overGolden++
+		}
+	}
+	if frac := float64(overGolden) / float64(len(l3)); frac > 0.30 {
+		t.Errorf("3T1D chips above golden leakage = %.2f, want <= 0.30 (paper: ~11%%)", frac)
+	}
+}
+
+func TestCalibrationSevereVariation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo calibration is expensive")
+	}
+	s := summarize(t, variation.Severe, 48, 2048)
+
+	// §4.3 / Fig. 8: the median severe chip has ~3%% dead lines and the
+	// bad chip up to ~23%%.
+	dead := column(s, func(c chipSummary) float64 { return c.deadFrac })
+	if med := stats.Quantile(dead, 0.5); med < 0.005 || med > 0.10 {
+		t.Errorf("severe median dead-line fraction = %.4f, want in [0.005, 0.10]", med)
+	}
+	if bad := stats.Quantile(dead, 0.9); bad < 0.10 || bad > 0.60 {
+		t.Errorf("severe bad-chip dead fraction = %.3f, want in [0.10, 0.60]", bad)
+	}
+
+	// §4.3: ~80%% of chips must be discarded under the global scheme
+	// because at least one line is dead.
+	discard := 0
+	for _, c := range s {
+		if c.deadFrac > 0 {
+			discard++
+		}
+	}
+	if frac := float64(discard) / float64(len(s)); frac < 0.6 {
+		t.Errorf("severe discard rate = %.2f, want >= 0.6 (paper: ~0.8)", frac)
+	}
+
+	// §7: 6T caches would suffer ~40%% frequency reduction under severe
+	// variation — the worst chips approach that.
+	f1 := column(s, func(c chipSummary) float64 { return c.freq1x })
+	if p10 := stats.Quantile(f1, 0.10); p10 > 0.80 {
+		t.Errorf("severe 6T p10 frequency = %.3f, want <= 0.80", p10)
+	}
+}
+
+func TestCalibrationStability(t *testing.T) {
+	// §2.1: ~0.4%% bit-flip rate at 32 nm, and 256-bit lines fail with
+	// ~64%% probability, defeating line-level redundancy.
+	e := NewChipEval(Node32, L1D,
+		variation.NewChip(stats.NewRNG(1), 0, variation.Typical, L1D.TileCols, L1D.TileRows))
+	p := e.SRAMUnstableFraction(SRAM1X)
+	if p < 0.002 || p > 0.008 {
+		t.Errorf("1X unstable fraction = %.4f, want ~0.004", p)
+	}
+	lf := e.SRAMLineFailureProbability(SRAM1X, 256)
+	if lf < 0.5 || lf > 0.8 {
+		t.Errorf("256-bit line failure = %.3f, want ~0.64", lf)
+	}
+	// Under severe variation nearly every line has unstable cells.
+	es := NewChipEval(Node32, L1D,
+		variation.NewChip(stats.NewRNG(1), 0, variation.Severe, L1D.TileCols, L1D.TileRows))
+	if lf := es.SRAMLineFailureProbability(SRAM1X, 256); lf < 0.99 {
+		t.Errorf("severe line failure = %.3f, want ~1", lf)
+	}
+}
+
+func TestCalibrationFig4WeakCorner(t *testing.T) {
+	// Fig. 4's weak-corner cell retains ~4 µs versus 5.8 µs nominal.
+	weak := Cell3T1D{
+		T2: Device{DL: variation.Typical.SigmaLWithin, DVth: variation.Typical.SigmaVth},
+		T3: Device{DL: variation.Typical.SigmaLWithin, DVth: variation.Typical.SigmaVth},
+	}
+	got := Node32.RetentionTime(weak) * 1e6
+	if got < 3.2 || got > 5.4 {
+		t.Errorf("weak corner retention = %.2f µs, want in [3.2, 5.4]", got)
+	}
+}

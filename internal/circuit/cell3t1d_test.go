@@ -1,0 +1,187 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNominalRetentionAnchors(t *testing.T) {
+	// The nominal cell retention must equal the node's anchor (Fig. 4:
+	// ~5.8 µs at 32 nm; §4.1 quotes ≈6000 ns for the cache).
+	for _, tech := range Nodes {
+		got := tech.RetentionTime(Nominal3T1D)
+		if math.Abs(got-tech.Retention3T1D)/tech.Retention3T1D > 1e-9 {
+			t.Errorf("%s nominal retention = %v, want %v", tech.Name, got, tech.Retention3T1D)
+		}
+	}
+}
+
+func TestStoredLevelDegraded(t *testing.T) {
+	// The stored "1" is degraded by the write transistor's threshold.
+	v0 := Node32.StorageLevel(Nominal3T1D, 0)
+	if math.Abs(v0-(Node32.Vdd-Node32.Vth0)) > 1e-12 {
+		t.Errorf("fresh stored level = %v", v0)
+	}
+}
+
+func TestStorageDecaysMonotonically(t *testing.T) {
+	prev := math.Inf(1)
+	for _, elapsed := range []float64{0, 1e-6, 2e-6, 4e-6, 8e-6, 16e-6} {
+		v := Node32.StorageLevel(Nominal3T1D, elapsed)
+		if v > prev {
+			t.Fatalf("storage level rose at %v: %v > %v", elapsed, v, prev)
+		}
+		if v < 0 {
+			t.Fatalf("storage level negative at %v: %v", elapsed, v)
+		}
+		prev = v
+	}
+	// Eventually fully discharged.
+	if v := Node32.StorageLevel(Nominal3T1D, 1); v != 0 {
+		t.Errorf("storage should be empty after 1s, got %v", v)
+	}
+}
+
+func TestAccessTimeCurveShape(t *testing.T) {
+	// Fig. 4: fresh 3T1D access beats the 6T array; the curve crosses the
+	// 6T line at the retention time and keeps growing beyond it.
+	tech := Node32
+	ret := tech.RetentionTime(Nominal3T1D)
+	fresh := tech.AccessTime3T1D(Nominal3T1D, 0)
+	if fresh >= tech.AccessTime6T {
+		t.Errorf("fresh 3T1D access %v should beat 6T %v", fresh, tech.AccessTime6T)
+	}
+	atRet := tech.AccessTime3T1D(Nominal3T1D, ret)
+	if math.Abs(atRet-tech.AccessTime6T)/tech.AccessTime6T > 0.02 {
+		t.Errorf("access at retention = %v, want ≈ %v", atRet, tech.AccessTime6T)
+	}
+	after := tech.AccessTime3T1D(Nominal3T1D, ret*1.5)
+	if after <= tech.AccessTime6T {
+		t.Errorf("access past retention = %v should exceed 6T %v", after, tech.AccessTime6T)
+	}
+	// Monotone non-decreasing over time.
+	prev := 0.0
+	for i := 0; i <= 20; i++ {
+		at := tech.AccessTime3T1D(Nominal3T1D, float64(i)*ret/10)
+		if at < prev {
+			t.Fatalf("access time decreased at step %d: %v < %v", i, at, prev)
+		}
+		prev = at
+	}
+}
+
+func TestAccessTimeCapped(t *testing.T) {
+	// Long after the charge is gone the access time must remain finite.
+	at := Node32.AccessTime3T1D(Nominal3T1D, 1)
+	if math.IsInf(at, 0) || math.IsNaN(at) {
+		t.Fatalf("access time not finite: %v", at)
+	}
+	if at > Node32.AccessTime6T*100 {
+		t.Errorf("access time cap not applied: %v", at)
+	}
+}
+
+func TestWeakCellShorterRetention(t *testing.T) {
+	// Fig. 4: weaker read-path devices shift the curve left. A +1σ
+	// typical corner on the read path should land in the 4-5.2 µs band
+	// at 32 nm (paper shows ≈4 µs versus 5.8 µs nominal).
+	weak := Cell3T1D{
+		T2: Device{DL: 0.05, DVth: 0.10},
+		T3: Device{DL: 0.05, DVth: 0.10},
+	}
+	got := Node32.RetentionTime(weak)
+	if got >= Node32.Retention3T1D {
+		t.Fatalf("weak cell retention %v not below nominal", got)
+	}
+	if got < 3.2e-6 || got > 5.4e-6 {
+		t.Errorf("weak cell retention = %v, want in [3.2e-6, 5.4e-6]", got)
+	}
+}
+
+func TestStrongCellLongerRetention(t *testing.T) {
+	strong := Cell3T1D{
+		T2: Device{DL: -0.05, DVth: -0.10},
+		T3: Device{DL: -0.05, DVth: -0.10},
+	}
+	if got := Node32.RetentionTime(strong); got <= Node32.Retention3T1D {
+		t.Errorf("strong cell retention = %v, want above nominal", got)
+	}
+}
+
+func TestDeadCellZeroRetention(t *testing.T) {
+	// A read transistor so weak it can never match 6T speed → retention 0.
+	dead := Cell3T1D{T2: Device{DVth: 3.0}}
+	if got := Node32.RetentionTime(dead); got != 0 {
+		t.Errorf("dead cell retention = %v, want 0", got)
+	}
+	// A write transistor so weak it stores almost nothing → retention 0.
+	dead2 := Cell3T1D{T1: Device{DVth: 3.0}}
+	if got := Node32.RetentionTime(dead2); got != 0 {
+		t.Errorf("dead write-path cell retention = %v, want 0", got)
+	}
+}
+
+func TestLeakyWriteTransistorShortensRetention(t *testing.T) {
+	// A low-Vth T1 drains the storage node faster (the dominant random
+	// retention-loss mechanism); retention must drop even though the
+	// stored level is slightly higher.
+	leaky := Cell3T1D{T1: Device{DVth: -0.3}}
+	if got := Node32.RetentionTime(leaky); got >= Node32.Retention3T1D {
+		t.Errorf("leaky-T1 retention = %v, want below nominal", got)
+	}
+}
+
+func TestLeakFactor3T1D(t *testing.T) {
+	got := Node32.LeakFactor3T1D(Nominal3T1D)
+	if math.Abs(got-Leak3T1DRatio) > 1e-12 {
+		t.Errorf("nominal 3T1D leak = %v, want %v", got, Leak3T1DRatio)
+	}
+	if Leak3T1DRatio >= 0.5 {
+		t.Errorf("3T1D must leak much less than 6T, ratio = %v", Leak3T1DRatio)
+	}
+}
+
+func TestRetentionAcrossNodesScalesDown(t *testing.T) {
+	// Retention shrinks with technology scaling (Table 3: 4000→2900→1900
+	// ns for median chips; nominal values scale the same way).
+	if !(Node65.Retention3T1D > Node45.Retention3T1D && Node45.Retention3T1D > Node32.Retention3T1D) {
+		t.Error("nominal retention should shrink with scaling")
+	}
+}
+
+func TestQuickRetentionNonNegative(t *testing.T) {
+	f := func(a, b, c, d, e, g float64) bool {
+		cell := Cell3T1D{
+			T1: Device{DL: math.Mod(a, 0.3), DVth: math.Mod(b, 1)},
+			T2: Device{DL: math.Mod(c, 0.3), DVth: math.Mod(d, 1)},
+			T3: Device{DL: math.Mod(e, 0.3), DVth: math.Mod(g, 1)},
+		}
+		r := Node32.RetentionTime(cell)
+		return r >= 0 && !math.IsNaN(r) && !math.IsInf(r, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAccessTimeAtRetentionMatches6T(t *testing.T) {
+	// Property: for any live cell, the access-time curve crosses the 6T
+	// nominal line exactly at the retention time (the two formulations
+	// must stay consistent).
+	f := func(a, b float64) bool {
+		cell := Cell3T1D{
+			T2: Device{DVth: math.Mod(a, 0.3)},
+			T3: Device{DVth: math.Mod(b, 0.3)},
+		}
+		ret := Node32.RetentionTime(cell)
+		if ret <= 0 {
+			return true
+		}
+		at := Node32.AccessTime3T1D(cell, ret)
+		return math.Abs(at-Node32.AccessTime6T)/Node32.AccessTime6T < 0.03
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

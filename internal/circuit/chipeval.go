@@ -1,0 +1,343 @@
+package circuit
+
+import (
+	"math"
+
+	"tdcache/internal/stats"
+	"tdcache/internal/variation"
+)
+
+// Geometry describes the physical organization of the 64 KB L1 data
+// cache (§3.2): 1024 lines of 512 bits, stored in 8 sub-arrays of
+// 256×256 bits. Arrays are paired; each pair's 64 shared sense
+// amplifiers assemble the 512-bit blocks, and a line's bits straddle the
+// two arrays of its pair.
+//
+// For within-die variation the floorplan is discretized into TileCols ×
+// TileRows correlation tiles (finer than the 8 sub-arrays: each
+// sub-array column is split into 16-line tile rows, following the §3.1
+// observation that gate length is strongly correlated only within small
+// sub-array regions).
+type Geometry struct {
+	Lines        int // cache lines
+	CellsPerLine int // data bits per line
+	TagBits      int // tag/status cells per line (share the line's fate)
+	TileCols     int // variation-field columns (= physical sub-arrays)
+	TileRows     int // variation-field rows per column
+}
+
+// L1D is the paper's L1 data-cache geometry.
+var L1D = Geometry{
+	Lines:        1024,
+	CellsPerLine: 512,
+	TagBits:      32,
+	TileCols:     8,
+	TileRows:     16,
+}
+
+// LinesPerTileRow returns how many consecutive lines share one tile row.
+func (g Geometry) LinesPerTileRow() int {
+	perPair := g.Lines / (g.TileCols / 2)
+	return perPair / g.TileRows
+}
+
+// LineTiles returns the two variation tiles holding the line's bits: the
+// line lives in one array pair (two adjacent columns) at a tile row
+// determined by its wordline.
+func (g Geometry) LineTiles(line int) (x0, x1, y int) {
+	pairs := g.TileCols / 2
+	perPair := g.Lines / pairs
+	pair := line / perPair
+	row := line % perPair
+	y = row / g.LinesPerTileRow()
+	return 2 * pair, 2*pair + 1, y
+}
+
+// Transistor slots within a cell for per-transistor Vth draws.
+const (
+	slotT1    uint8 = iota // 3T1D write access / 6T read access
+	slotT2                 // 3T1D storage read / 6T read driver
+	slotT3                 // 3T1D read wordline
+	slotKeepA              // 6T cross-coupled keeper A
+	slotKeepB              // 6T cross-coupled keeper B
+)
+
+// ChipEval evaluates circuit-level figures of merit for one sampled chip.
+// It is stateless and safe for concurrent use across chips.
+type ChipEval struct {
+	Tech Tech
+	Geom Geometry
+	Chip *variation.Chip
+}
+
+// NewChipEval bundles a technology, geometry, and chip sample.
+func NewChipEval(t Tech, g Geometry, c *variation.Chip) ChipEval {
+	return ChipEval{Tech: t, Geom: g, Chip: c}
+}
+
+// cellID gives every cell of the cache a unique index for hash draws.
+func (e ChipEval) cellID(line, cell int) uint64 {
+	return uint64(line)*uint64(e.Geom.CellsPerLine+e.Geom.TagBits) + uint64(cell)
+}
+
+// cellDevice materializes one transistor's process corner.
+func (e ChipEval) cellDevice(line, cell int, slot uint8, tileX, tileY int) Device {
+	return Device{
+		DL:   e.Chip.DeltaL(tileX, tileY),
+		DVth: e.Chip.DeltaVth(e.cellID(line, cell), slot),
+	}
+}
+
+// LineRetention returns the retention time (seconds) of one cache line:
+// the minimum retention over its data and tag cells (§4.3.1 — a line's
+// retention is defined by its worst cell so no data is ever lost during
+// it). It uses a hoisted kernel algebraically identical to
+// Tech.RetentionTime (asserted by tests) because this is the hot path of
+// every Monte-Carlo study.
+func (e ChipEval) LineRetention(line int) float64 {
+	x0, x1, y := e.Geom.LineTiles(line)
+	p0 := e.tileParams(x0, y)
+	p1 := e.tileParams(x1, y)
+	min := math.Inf(1)
+	total := e.Geom.CellsPerLine + e.Geom.TagBits
+	half := e.Geom.CellsPerLine / 2
+	sigma := e.Chip.Scenario.SigmaVth
+	seed := e.Chip.Seed()
+	for cell := 0; cell < total; cell++ {
+		p := &p0
+		if cell >= half && cell < e.Geom.CellsPerLine {
+			p = &p1 // second half of the data bits lives in the pair's other array
+		}
+		id := e.cellID(line, cell)
+		var g1, g2, g3 float64
+		if sigma != 0 {
+			g1 = sigma * stats.HashGaussian(seed, stats.Mix64(id, uint64(slotT1)))
+			g2 = sigma * stats.HashGaussian(seed, stats.Mix64(id, uint64(slotT2)))
+			g3 = sigma * stats.HashGaussian(seed, stats.Mix64(id, uint64(slotT3)))
+		}
+		if r := e.cellRetention(p, g1, g2, g3); r < min {
+			min = r
+			if min == 0 {
+				break // a dead cell kills the whole line; no need to keep scanning
+			}
+		}
+	}
+	return min
+}
+
+// tileParams holds the per-tile (systematic) quantities hoisted out of
+// the per-cell retention kernel.
+type tileParams struct {
+	dL       float64 // gate-length deviation of the tile
+	vthShift float64 // SCE·dL·Vth0, added to every device threshold
+	ln1pdL   float64 // ln(1+dL)
+	invDecay float64 // T0 / (margin0 · (1+dL)^-1), Vth part applied per cell
+	vreqNom  float64 // nominal required storage level
+	overNom  float64 // nominal T2 gate overdrive at the crossing
+	lnOver3  float64 // ln of nominal T3 overdrive, for the drive-factor log
+}
+
+func (e ChipEval) tileParams(tx, ty int) tileParams {
+	t := e.Tech
+	dL := e.Chip.DeltaL(tx, ty)
+	v0n := t.nominalStoredLevel()
+	vreqNom := v0n * (1 - t.MarginFrac)
+	overNom := t.DiodeBoost*vreqNom - t.Vth0
+	if overNom < 0.05 {
+		overNom = 0.05
+	}
+	return tileParams{
+		dL:       dL,
+		vthShift: t.SCE * dL * t.Vth0,
+		ln1pdL:   math.Log1p(dL),
+		invDecay: t.Retention3T1D / (v0n * t.MarginFrac) * (1 + dL),
+		vreqNom:  vreqNom,
+		overNom:  overNom,
+		lnOver3:  math.Log(t.Vdd - t.Vth0),
+	}
+}
+
+// cellRetention is the hoisted equivalent of Tech.RetentionTime for a
+// cell whose three transistors share a tile corner p and have i.i.d.
+// threshold deviations g1..g3 (already scaled by σVth, as ΔVth/Vth0).
+func (e ChipEval) cellRetention(p *tileParams, g1, g2, g3 float64) float64 {
+	t := e.Tech
+	// T1: stored level and decay corner.
+	vth1 := t.Vth0*(1+g1) + p.vthShift
+	v0 := t.Vdd - vth1
+	if v0 <= 0 {
+		return 0
+	}
+	// T3 drive factor in log space: α·ln(over/overNom) - ln(1+dL).
+	over3 := t.Vdd - (t.Vth0*(1+g3) + p.vthShift)
+	if over3 < 1e-3 {
+		over3 = 1e-3
+	}
+	lnDF3 := t.Alpha*(math.Log(over3)-p.lnOver3) - p.ln1pdL
+	// Required-level scale: (DF3^-T3Weight · (1+dL))^(1/α).
+	scale := math.Exp((-t.T3Weight*lnDF3 + p.ln1pdL) / t.Alpha)
+	vreq := (t.Vth0*(1+g2) + p.vthShift + p.overNom*scale) / t.DiodeBoost
+	margin := v0 - vreq
+	if margin <= 0 {
+		return 0
+	}
+	// Decay: margin0/T0 · retLeakFactor(T1); retLeakFactor's (1+dL) is
+	// folded into invDecay, leaving the Vth exponential per cell.
+	retLeak := math.Exp(-(vth1 - t.Vth0) / t.RetLeakSens)
+	return margin * p.invDecay / retLeak
+}
+
+// RetentionMap returns the retention time of every line, in seconds.
+func (e ChipEval) RetentionMap() []float64 {
+	m := make([]float64, e.Geom.Lines)
+	for l := range m {
+		m[l] = e.LineRetention(l)
+	}
+	return m
+}
+
+// CacheRetention returns the whole-cache retention under the global
+// scheme: the minimum line retention (§4.3 — "the memory cell with the
+// shortest retention time determines the retention time of the entire
+// structure").
+func (e ChipEval) CacheRetention() float64 {
+	min := math.Inf(1)
+	for l := 0; l < e.Geom.Lines; l++ {
+		if r := e.LineRetention(l); r < min {
+			min = r
+		}
+	}
+	return min
+}
+
+// SRAMWorstAccessTime scans every cell of the cache and returns the
+// slowest array access time (seconds) for the given 6T cell variant.
+// This is the exact (sampled) evaluation; SRAMWorstAccessTimeFast is the
+// extreme-value approximation used inside large Monte-Carlo sweeps.
+func (e ChipEval) SRAMWorstAccessTime(cell SRAM6T) float64 {
+	worst := 0.0
+	for line := 0; line < e.Geom.Lines; line++ {
+		x0, x1, y := e.Geom.LineTiles(line)
+		total := e.Geom.CellsPerLine + e.Geom.TagBits
+		half := e.Geom.CellsPerLine / 2
+		for c := 0; c < total; c++ {
+			tx := x0
+			if c >= half && c < e.Geom.CellsPerLine {
+				tx = x1
+			}
+			access := e.cellDevice(line, c, slotT1, tx, y)
+			driver := e.cellDevice(line, c, slotT2, tx, y)
+			df := cell.ReadDelayFactor(e.Tech, access, driver)
+			at := ArrayAccessTime(e.Tech, df, Device{DL: e.Chip.DeltaL(tx, y)})
+			if at > worst {
+				worst = at
+			}
+		}
+	}
+	return worst
+}
+
+// SRAMWorstAccessTimeFast approximates SRAMWorstAccessTime using
+// extreme-value theory: within each correlation tile the worst cell's
+// random-dopant corner is the expected maximum of the tile's i.i.d.
+// draws plus a Gumbel fluctuation (hash-seeded per tile so the result is
+// deterministic per chip). Agreement with the exact scan is verified in
+// tests; the fast path makes 1000-chip distribution studies cheap.
+func (e ChipEval) SRAMWorstAccessTimeFast(cell SRAM6T) float64 {
+	g := e.Geom
+	cellsPerTile := g.Lines / (g.TileCols / 2) / g.TileRows * (g.CellsPerLine + g.TagBits) / 2
+	// Each cell contributes two read-path transistors; the series delay
+	// is dominated by the weaker, so the tile's worst cell behaves like
+	// the max of ~2n Gaussians applied to one device.
+	m := float64(2 * cellsPerTile)
+	am := math.Sqrt(2 * math.Log(m))
+	am -= (math.Log(math.Log(m)) + math.Log(4*math.Pi)) / (2 * am)
+	bm := math.Sqrt(2 * math.Log(m))
+	worst := 0.0
+	sigma := e.Chip.Scenario.SigmaVth * cell.VthSigmaScale()
+	for tx := 0; tx < g.TileCols; tx++ {
+		for ty := 0; ty < g.TileRows; ty++ {
+			// Deterministic Gumbel fluctuation for this tile.
+			u := stats.HashUniform(e.Chip.Seed()^0xfa57, uint64(tx*64+ty))
+			if u < 1e-12 {
+				u = 1e-12
+			}
+			gum := -math.Log(-math.Log(u))
+			dvWorst := sigma * (am + gum/bm)
+			dev := Device{DL: e.Chip.DeltaL(tx, ty), DVth: dvWorst / cell.VthSigmaScale()}
+			df := cell.ReadDelayFactor(e.Tech, dev, dev)
+			at := ArrayAccessTime(e.Tech, df, Device{DL: e.Chip.DeltaL(tx, ty)})
+			if at > worst {
+				worst = at
+			}
+		}
+	}
+	return worst
+}
+
+// SRAMFrequencyFactor returns the chip's normalized frequency (≤1) for
+// the given cell variant using the fast worst-cell evaluation.
+func (e ChipEval) SRAMFrequencyFactor(cell SRAM6T) float64 {
+	return FrequencyFactor(e.Tech, e.SRAMWorstAccessTimeFast(cell))
+}
+
+// SRAMUnstableFraction returns the expected fraction of 6T cells whose
+// read is pseudo-destructive, computed analytically: the mismatch of the
+// two cross-coupled keepers is N(0, 2·(σVth·Vth0·scale)²) and the cell
+// flips when |mismatch| exceeds the threshold.
+func (e ChipEval) SRAMUnstableFraction(cell SRAM6T) float64 {
+	sigma := e.Chip.Scenario.SigmaVth * e.Tech.Vth0 * cell.VthSigmaScale()
+	if sigma == 0 {
+		return 0
+	}
+	sd := sigma * math.Sqrt2
+	return math.Erfc(e.Tech.FlipThreshold / (sd * math.Sqrt2))
+}
+
+// SRAMLineFailureProbability returns the probability that a line of n
+// cells contains at least one unstable cell — the paper's §2.1 point
+// that 256-bit lines fail with 1-(1-p)^256 probability, which defeats
+// line-level redundancy.
+func (e ChipEval) SRAMLineFailureProbability(cell SRAM6T, n int) float64 {
+	p := e.SRAMUnstableFraction(cell)
+	return 1 - math.Pow(1-p, float64(n))
+}
+
+// iidLeakMultiplier is E[exp(-ΔVth·Vth0/s)] over the random-dopant
+// distribution: the lognormal mean shift that i.i.d. Vth noise adds to
+// every chip's leakage.
+func (e ChipEval) iidLeakMultiplier(sigmaScale float64) float64 {
+	s := e.Chip.Scenario.SigmaVth * e.Tech.Vth0 * sigmaScale
+	return math.Exp(s * s / (2 * e.Tech.SubVTSlope * e.Tech.SubVTSlope))
+}
+
+// SRAMLeakageFactor returns the chip's total 6T cache leakage relative
+// to the golden (no-variation) design: the tile-systematic corner factor
+// averaged over the floorplan times the analytic i.i.d. multiplier.
+func (e ChipEval) SRAMLeakageFactor(cell SRAM6T) float64 {
+	sum := 0.0
+	n := 0
+	for tx := 0; tx < e.Geom.TileCols; tx++ {
+		for ty := 0; ty < e.Geom.TileRows; ty++ {
+			d := Device{DL: e.Chip.DeltaL(tx, ty)}
+			sum += e.Tech.LeakFactor(d)
+			n++
+		}
+	}
+	return sum / float64(n) * e.iidLeakMultiplier(cell.VthSigmaScale())
+}
+
+// Leakage3T1DFactor returns the chip's 3T1D cache leakage relative to
+// the *golden 6T* design (the Fig. 7 normalization).
+func (e ChipEval) Leakage3T1DFactor() float64 {
+	sum := 0.0
+	n := 0
+	for tx := 0; tx < e.Geom.TileCols; tx++ {
+		for ty := 0; ty < e.Geom.TileRows; ty++ {
+			d := Device{DL: e.Chip.DeltaL(tx, ty)}
+			sum += e.Tech.LeakFactor(d)
+			n++
+		}
+	}
+	return Leak3T1DRatio * sum / float64(n) * e.iidLeakMultiplier(1)
+}

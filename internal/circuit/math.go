@@ -1,0 +1,8 @@
+package circuit
+
+import "math"
+
+// Thin aliases so the model files read like the equations in the paper's
+// references without repeating the package qualifier everywhere.
+func pow(x, y float64) float64 { return math.Pow(x, y) }
+func exp(x float64) float64    { return math.Exp(x) }

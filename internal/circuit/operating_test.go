@@ -1,0 +1,102 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAtTemperatureLeakageDoubling(t *testing.T) {
+	hot := Node32.AtTemperature(90)
+	if r := hot.LeakagePower6T / Node32.LeakagePower6T; math.Abs(r-2) > 1e-9 {
+		t.Errorf("leakage at +10C = %vx, want 2x", r)
+	}
+	if r := hot.Retention3T1D / Node32.Retention3T1D; math.Abs(r-0.5) > 1e-9 {
+		t.Errorf("retention at +10C = %vx, want 0.5x", r)
+	}
+	cold := Node32.AtTemperature(60)
+	if cold.Retention3T1D <= Node32.Retention3T1D {
+		t.Error("cooler silicon should retain longer")
+	}
+	if cold.LeakagePower6T >= Node32.LeakagePower6T {
+		t.Error("cooler silicon should leak less")
+	}
+}
+
+func TestAtTemperatureIdentityAtReference(t *testing.T) {
+	same := Node32.AtTemperature(ReferenceTempC)
+	if same.Retention3T1D != Node32.Retention3T1D || same.LeakagePower6T != Node32.LeakagePower6T {
+		t.Error("reference temperature must be a no-op")
+	}
+}
+
+func TestAtVddSlowerAndShorter(t *testing.T) {
+	low := Node32.AtVdd(0.9)
+	if low.FreqGHz >= Node32.FreqGHz {
+		t.Error("lower Vdd should lower frequency")
+	}
+	if low.AccessTime6T <= Node32.AccessTime6T {
+		t.Error("lower Vdd should slow the array")
+	}
+	if low.Retention3T1D >= Node32.Retention3T1D {
+		t.Error("lower Vdd should shorten retention (paper: point 3 vs 5)")
+	}
+	if low.LeakagePower6T >= Node32.LeakagePower6T {
+		t.Error("lower Vdd should reduce leakage (DIBL)")
+	}
+	hi := Node32.AtVdd(1.3)
+	if hi.FreqGHz <= Node32.FreqGHz {
+		t.Error("overdrive should raise frequency")
+	}
+}
+
+func TestAtVddClampsNearThreshold(t *testing.T) {
+	d := Node32.AtVdd(0.1)
+	if math.IsInf(d.AccessTime6T, 0) || math.IsNaN(d.AccessTime6T) || d.AccessTime6T <= 0 {
+		t.Errorf("near-threshold derating not clamped: %v", d.AccessTime6T)
+	}
+}
+
+func TestRetentionDerating(t *testing.T) {
+	// Testing at 100C but running at 80C: counters end up conservative
+	// by 4x.
+	f := RetentionDeratingForTestTemp(100, 80)
+	if math.Abs(f-0.25) > 1e-12 {
+		t.Errorf("derating = %v, want 0.25", f)
+	}
+	if RetentionDeratingForTestTemp(80, 80) != 1 {
+		t.Error("same temperature should be 1")
+	}
+}
+
+func TestQuickTemperatureMonotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		a = 40 + math.Mod(math.Abs(a), 80)
+		b = 40 + math.Mod(math.Abs(b), 80)
+		if a > b {
+			a, b = b, a
+		}
+		ta := Node32.AtTemperature(a)
+		tb := Node32.AtTemperature(b)
+		return ta.Retention3T1D >= tb.Retention3T1D && ta.LeakagePower6T <= tb.LeakagePower6T
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickVddMonotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		a = 0.7 + math.Mod(math.Abs(a), 0.6)
+		b = 0.7 + math.Mod(math.Abs(b), 0.6)
+		if a > b {
+			a, b = b, a
+		}
+		la := Node32.AtVdd(a)
+		lb := Node32.AtVdd(b)
+		return la.FreqGHz <= lb.FreqGHz && la.Retention3T1D <= lb.Retention3T1D
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,125 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadDelayFactorNominal(t *testing.T) {
+	for _, cell := range []SRAM6T{SRAM1X, SRAM2X} {
+		if got := cell.ReadDelayFactor(Node32, Nominal, Nominal); math.Abs(got-1) > 1e-12 {
+			t.Errorf("%vX nominal delay factor = %v", cell.Size, got)
+		}
+	}
+}
+
+func TestReadDelayFactorMonotone(t *testing.T) {
+	weak := SRAM1X.ReadDelayFactor(Node32, Device{DVth: 0.2}, Nominal)
+	if weak <= 1 {
+		t.Errorf("weak access should slow the read: %v", weak)
+	}
+	// Series path: either device being weak slows the read.
+	weakDriver := SRAM1X.ReadDelayFactor(Node32, Nominal, Device{DVth: 0.2})
+	if weakDriver <= 1 {
+		t.Errorf("weak driver should slow the read: %v", weakDriver)
+	}
+}
+
+func TestReadDelaySizingBenefit(t *testing.T) {
+	// The same raw variation draw hurts the 2X cell less (Pelgrom).
+	d := Device{DVth: 0.3}
+	d1 := SRAM1X.ReadDelayFactor(Node32, d, d)
+	d2 := SRAM2X.ReadDelayFactor(Node32, d, d)
+	if d2 >= d1 {
+		t.Errorf("2X cell should be less sensitive: 1X=%v 2X=%v", d1, d2)
+	}
+}
+
+func TestUnstableThreshold(t *testing.T) {
+	// Mismatch below the threshold: stable. Well above: unstable.
+	small := Device{DVth: 0.05}
+	if SRAM1X.Unstable(Node32, small, Device{DVth: -0.05}) {
+		t.Error("30mV mismatch should be stable at 32nm")
+	}
+	big := Device{DVth: 0.3}
+	if !SRAM1X.Unstable(Node32, big, Device{DVth: -0.3}) {
+		t.Error("180mV mismatch should be unstable at 32nm")
+	}
+}
+
+func TestUnstableSizingBenefit(t *testing.T) {
+	// A draw that flips the 1X cell can be absorbed by the 2X cell.
+	a, b := Device{DVth: 0.25}, Device{DVth: -0.25}
+	if !SRAM1X.Unstable(Node32, a, b) {
+		t.Fatal("test draw should flip the 1X cell")
+	}
+	if SRAM2X.Unstable(Node32, a, b) {
+		t.Error("2X cell should absorb the same draw")
+	}
+}
+
+func TestLeakFactorThreePaths(t *testing.T) {
+	if got := SRAM1X.LeakFactor(Node32, Nominal, Nominal, Nominal); math.Abs(got-1) > 1e-12 {
+		t.Errorf("nominal cell leak = %v", got)
+	}
+	// One leaky path raises the mean.
+	if SRAM1X.LeakFactor(Node32, Device{DVth: -0.3}, Nominal, Nominal) <= 1 {
+		t.Error("one leaky path should raise cell leakage")
+	}
+}
+
+func TestArrayAccessTimeNominal(t *testing.T) {
+	got := ArrayAccessTime(Node32, 1, Nominal)
+	if math.Abs(got-Node32.AccessTime6T) > 1e-15 {
+		t.Errorf("nominal array access = %v, want %v", got, Node32.AccessTime6T)
+	}
+}
+
+func TestArrayAccessTimeSlowCell(t *testing.T) {
+	// A 2x-slow worst cell stretches only the bitline share of the path.
+	got := ArrayAccessTime(Node32, 2, Nominal)
+	want := Node32.AccessTime6T * (1 + Node32.BitlineFrac)
+	if math.Abs(got-want) > 1e-15 {
+		t.Errorf("slow-cell access = %v, want %v", got, want)
+	}
+}
+
+func TestFrequencyFactor(t *testing.T) {
+	if got := FrequencyFactor(Node32, Node32.AccessTime6T); got != 1 {
+		t.Errorf("nominal frequency factor = %v", got)
+	}
+	if got := FrequencyFactor(Node32, 2*Node32.AccessTime6T); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("2x-slow frequency factor = %v", got)
+	}
+	// Fast chips are capped at the design frequency.
+	if got := FrequencyFactor(Node32, Node32.AccessTime6T/2); got != 1 {
+		t.Errorf("fast chip should cap at 1, got %v", got)
+	}
+	if got := FrequencyFactor(Node32, 0); got != 1 {
+		t.Errorf("degenerate access time should yield 1, got %v", got)
+	}
+}
+
+func TestQuickReadDelayPositive(t *testing.T) {
+	f := func(a, b float64) bool {
+		d1 := Device{DVth: math.Mod(a, 1)}
+		d2 := Device{DVth: math.Mod(b, 1)}
+		df := SRAM1X.ReadDelayFactor(Node32, d1, d2)
+		return df > 0 && !math.IsNaN(df)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickUnstableSymmetric(t *testing.T) {
+	f := func(a, b float64) bool {
+		da := Device{DVth: math.Mod(a, 1)}
+		db := Device{DVth: math.Mod(b, 1)}
+		return SRAM1X.Unstable(Node32, da, db) == SRAM1X.Unstable(Node32, db, da)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,141 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNodeTableParameters(t *testing.T) {
+	// Table 1 of the paper.
+	cases := []struct {
+		tech    Tech
+		area    float64
+		wireW   float64
+		oxide   float64
+		freq    float64
+		access  float64 // Table 3 ideal access time, ps
+		leakPwr float64 // Table 3 ideal 6T leakage, mW
+	}{
+		{Node65, 0.90, 0.10, 1.2, 3.0, 285, 15.8},
+		{Node45, 0.45, 0.07, 1.1, 3.5, 251, 36.0},
+		{Node32, 0.23, 0.05, 1.0, 4.3, 208, 78.2},
+	}
+	for _, c := range cases {
+		if c.tech.CellAreaUM2 != c.area || c.tech.WireWidthUM != c.wireW ||
+			c.tech.OxideNM != c.oxide || c.tech.FreqGHz != c.freq {
+			t.Errorf("%s: Table 1 parameters wrong: %+v", c.tech.Name, c.tech)
+		}
+		if got := c.tech.AccessTime6T * 1e12; math.Abs(got-c.access) > 0.5 {
+			t.Errorf("%s access time = %vps, want %v", c.tech.Name, got, c.access)
+		}
+		if got := c.tech.LeakagePower6T * 1e3; math.Abs(got-c.leakPwr) > 0.05 {
+			t.Errorf("%s leakage = %vmW, want %v", c.tech.Name, got, c.leakPwr)
+		}
+	}
+}
+
+func TestCyclePeriod(t *testing.T) {
+	if got := Node32.CyclePS(); math.Abs(got-232.56) > 0.1 {
+		t.Errorf("32nm cycle = %vps", got)
+	}
+	if got := Node32.CycleSeconds(); math.Abs(got-232.56e-12) > 1e-13 {
+		t.Errorf("32nm cycle = %vs", got)
+	}
+	// Nominal retention in cycles: 5.8us * 4.3GHz = 24940.
+	if got := Node32.RetentionCycles(); math.Abs(got-24940) > 1 {
+		t.Errorf("32nm retention cycles = %v", got)
+	}
+}
+
+func TestVthEff(t *testing.T) {
+	if got := Node32.VthEff(Nominal); got != Node32.Vth0 {
+		t.Errorf("nominal VthEff = %v", got)
+	}
+	// Positive dopant deviation raises Vth.
+	if Node32.VthEff(Device{DVth: 0.1}) <= Node32.Vth0 {
+		t.Error("positive DVth should raise VthEff")
+	}
+	// Longer channel raises Vth via SCE.
+	if Node32.VthEff(Device{DL: 0.05}) <= Node32.Vth0 {
+		t.Error("positive DL should raise VthEff")
+	}
+}
+
+func TestDriveFactorNominal(t *testing.T) {
+	if got := Node32.DriveFactor(Nominal); math.Abs(got-1) > 1e-12 {
+		t.Errorf("nominal drive factor = %v", got)
+	}
+}
+
+func TestDriveFactorMonotonicity(t *testing.T) {
+	// Higher Vth → weaker drive; longer channel → weaker drive.
+	weakVth := Node32.DriveFactor(Device{DVth: 0.2})
+	weakL := Node32.DriveFactor(Device{DL: 0.1})
+	strong := Node32.DriveFactor(Device{DVth: -0.2})
+	if weakVth >= 1 || weakL >= 1 {
+		t.Errorf("weak devices should drive < 1: vth=%v L=%v", weakVth, weakL)
+	}
+	if strong <= 1 {
+		t.Errorf("strong device should drive > 1: %v", strong)
+	}
+}
+
+func TestDriveFactorFloor(t *testing.T) {
+	// A device whose threshold exceeds the gate drive must yield a tiny
+	// positive factor, never zero or negative.
+	f := Node32.DriveFactorAt(Device{DVth: 10}, 0.2)
+	if f <= 0 {
+		t.Errorf("drive factor not positive: %v", f)
+	}
+}
+
+func TestLeakFactorNominalAndMonotone(t *testing.T) {
+	if got := Node32.LeakFactor(Nominal); math.Abs(got-1) > 1e-12 {
+		t.Errorf("nominal leak factor = %v", got)
+	}
+	if Node32.LeakFactor(Device{DVth: 0.1}) >= 1 {
+		t.Error("higher Vth should leak less")
+	}
+	if Node32.LeakFactor(Device{DVth: -0.1}) <= 1 {
+		t.Error("lower Vth should leak more")
+	}
+	// Shorter channel leaks more (DIBL / roll-off).
+	if Node32.LeakFactor(Device{DL: -0.05}) <= 1 {
+		t.Error("shorter channel should leak more")
+	}
+}
+
+func TestLeakFactorExponentialSpread(t *testing.T) {
+	// The paper cites a 5X leakage spread from Vth variation (§2.1).
+	// A ±2σ severe Vth swing (±30% of Vth0) must span well over 5X.
+	hi := Node32.LeakFactor(Device{DVth: -0.30})
+	lo := Node32.LeakFactor(Device{DVth: +0.30})
+	if hi/lo < 5 {
+		t.Errorf("leakage spread over ±2σ severe = %v, want > 5", hi/lo)
+	}
+}
+
+func TestQuickDriveFactorBounded(t *testing.T) {
+	f := func(dl, dvth float64) bool {
+		d := Device{DL: math.Mod(dl, 0.5), DVth: math.Mod(dvth, 1)}
+		g := Node32.DriveFactor(d)
+		return g > 0 && !math.IsNaN(g) && !math.IsInf(g, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickVthMonotoneInDVth(t *testing.T) {
+	f := func(a, b float64) bool {
+		a, b = math.Mod(a, 1), math.Mod(b, 1)
+		if a > b {
+			a, b = b, a
+		}
+		return Node32.VthEff(Device{DVth: a}) <= Node32.VthEff(Device{DVth: b})
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,60 @@
+package core
+
+// Counters accumulates every event the power model and the experiment
+// harness need. All counts are totals since construction.
+type Counters struct {
+	// Demand traffic.
+	Loads, Stores    uint64 // accepted demand accesses
+	LoadHits         uint64
+	StoreHits        uint64
+	LoadMisses       uint64
+	StoreMisses      uint64
+	PortStalls       uint64 // demand accesses rejected for lack of a port this cycle
+	RefreshBlocked   uint64 // port stalls attributable to an in-progress refresh/move/global pass
+	BypassedAccesses uint64 // accesses to all-dead sets that bypass the L1 (DSP)
+	ExpiredHits      uint64 // would-be hits lost because the line's retention had lapsed
+
+	// Fills and evictions.
+	Fills             uint64
+	Writebacks        uint64 // dirty evictions sent to L2 (replacement or expiry)
+	ExpiryInvalidates uint64 // clean lines invalidated at expiry
+	ExpiryWritebacks  uint64 // dirty lines written back at expiry
+	ForcedRefreshes   uint64 // dirty expiry with a full write buffer → refresh instead (§4.3.1)
+
+	// Refresh engine.
+	LineRefreshes  uint64 // individual 8-cycle line refreshes
+	GlobalPasses   uint64 // whole-cache refresh passes (§4.1)
+	GlobalLineRefr uint64 // lines refreshed by global passes
+	WayMoves       uint64 // RSP way-shuffle line moves
+	ShuffleDropped uint64 // RSP promotions skipped because the MUX backlog was full
+	IntegritySlips uint64 // a line serviced after its true expiry (must stay 0)
+
+	// Write buffer.
+	WriteBufferStalls uint64 // cycles a write-back waited on a full buffer
+	WriteThroughs     uint64 // store hits propagated to L2 (write-through mode)
+
+	// Occupancy integral for utilization reporting.
+	Cycles uint64
+}
+
+// Accesses returns total demand accesses.
+func (c *Counters) Accesses() uint64 { return c.Loads + c.Stores }
+
+// Misses returns total demand misses.
+func (c *Counters) Misses() uint64 { return c.LoadMisses + c.StoreMisses }
+
+// MissRate returns the demand miss rate (0 if no accesses).
+func (c *Counters) MissRate() float64 {
+	a := c.Accesses()
+	if a == 0 {
+		return 0
+	}
+	return float64(c.Misses()) / float64(a)
+}
+
+// RefreshOps returns all port-stealing retention operations: line
+// refreshes (explicit and forced), global-pass line refreshes, and RSP
+// way moves.
+func (c *Counters) RefreshOps() uint64 {
+	return c.LineRefreshes + c.ForcedRefreshes + c.GlobalLineRefr + c.WayMoves
+}

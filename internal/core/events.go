@@ -1,0 +1,112 @@
+package core
+
+// retireQueue is a calendar queue scheduling per-line retention events
+// (refresh-due, expiry-writeback-due, expiry-invalidate-due). It models
+// the token daisy-chain of §4.3.1: lines assert at their scheduled time
+// and are serviced in order with bounded queueing, which the cache's
+// AssertMargin covers.
+//
+// Buckets are coarse (bucketShift cycles each); events within a bucket
+// are serviced in insertion order when the bucket's time window arrives.
+// Each event carries the line's generation counter so events scheduled
+// for a line that has since been refilled or invalidated are dropped as
+// stale — the hardware analogue is the counter being reset by the new
+// fill.
+type retireQueue struct {
+	buckets [][]lineEvent
+	shift   uint
+	mask    int
+	// cursor is the start of the oldest bucket window that may still
+	// hold undelivered events; started latches its initialization.
+	cursor  int64
+	started bool
+	// pending holds due events awaiting service (the token's queue).
+	pending []lineEvent
+}
+
+type lineEvent struct {
+	line int
+	gen  uint32
+	at   int64
+}
+
+// newRetireQueue sizes the calendar for the given horizon (the maximum
+// schedulable delay in cycles).
+func newRetireQueue(horizon int64) *retireQueue {
+	const shift = 6 // 64-cycle buckets
+	n := 1
+	for int64(n)<<shift < horizon+1<<shift {
+		n <<= 1
+	}
+	return &retireQueue{
+		buckets: make([][]lineEvent, n),
+		shift:   shift,
+		mask:    n - 1,
+	}
+}
+
+// horizon returns the maximum delay the queue can hold.
+func (q *retireQueue) horizon() int64 {
+	return int64(len(q.buckets)) << q.shift
+}
+
+// schedule enqueues an event for the given absolute cycle. Delays beyond
+// the horizon are clamped to it: the event fires early and the service
+// logic reschedules it (this only matters for retentions approaching the
+// counter cap and is conservative — never late).
+func (q *retireQueue) schedule(line int, gen uint32, at, now int64) {
+	if at < now {
+		at = now
+	}
+	if at-now >= q.horizon() {
+		at = now + q.horizon() - 1
+	}
+	idx := int(at>>q.shift) & q.mask
+	q.buckets[idx] = append(q.buckets[idx], lineEvent{line: line, gen: gen, at: at})
+}
+
+// drain moves all events due at or before now into the pending queue.
+// The cursor only advances past a bucket once its whole time window has
+// elapsed; the current (partial) bucket is re-scanned each call so
+// events due mid-bucket are delivered on time and later events are kept.
+func (q *retireQueue) drain(now int64) {
+	if !q.started {
+		q.started = true
+		q.cursor = now
+	}
+	for {
+		idx := int(q.cursor>>q.shift) & q.mask
+		bucketEnd := (q.cursor>>q.shift + 1) << q.shift
+		if b := q.buckets[idx]; len(b) > 0 {
+			kept := b[:0]
+			for _, ev := range b {
+				if ev.at <= now {
+					q.pending = append(q.pending, ev)
+				} else {
+					kept = append(kept, ev)
+				}
+			}
+			q.buckets[idx] = kept
+		}
+		if bucketEnd > now {
+			break // current bucket window not over; re-scan next call
+		}
+		q.cursor = bucketEnd
+	}
+}
+
+// pop returns the oldest pending event, if any.
+func (q *retireQueue) pop() (lineEvent, bool) {
+	if len(q.pending) == 0 {
+		return lineEvent{}, false
+	}
+	ev := q.pending[0]
+	// Shift-down pop keeps service order FIFO; the pending queue stays
+	// short (bounded by simultaneous asserts), so this is cheap.
+	copy(q.pending, q.pending[1:])
+	q.pending = q.pending[:len(q.pending)-1]
+	return ev, true
+}
+
+// pendingLen reports the token queue depth (for tests and diagnostics).
+func (q *retireQueue) pendingLen() int { return len(q.pending) }

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRetireQueueDeliversInWindow(t *testing.T) {
+	q := newRetireQueue(8192)
+	q.drain(0) // initialize cursor
+	q.schedule(1, 0, 100, 0)
+	q.schedule(2, 0, 101, 0)
+	q.schedule(3, 0, 5000, 0)
+	delivered := map[int]int64{}
+	for now := int64(0); now <= 6000; now++ {
+		q.drain(now)
+		for {
+			ev, ok := q.pop()
+			if !ok {
+				break
+			}
+			delivered[ev.line] = now
+		}
+	}
+	if delivered[1] != 100 || delivered[2] != 101 {
+		t.Errorf("events 1,2 delivered at %d,%d; want 100,101", delivered[1], delivered[2])
+	}
+	if delivered[3] != 5000 {
+		t.Errorf("event 3 delivered at %d, want 5000", delivered[3])
+	}
+}
+
+func TestRetireQueueNeverEarly(t *testing.T) {
+	q := newRetireQueue(8192)
+	q.drain(0)
+	q.schedule(7, 0, 777, 0)
+	for now := int64(0); now < 777; now++ {
+		q.drain(now)
+		if _, ok := q.pop(); ok {
+			t.Fatalf("event delivered early at %d", now)
+		}
+	}
+}
+
+func TestRetireQueuePastDueClamped(t *testing.T) {
+	q := newRetireQueue(8192)
+	q.drain(50)
+	q.schedule(1, 0, 10, 50) // at < now: clamp to now
+	q.drain(50)
+	if _, ok := q.pop(); !ok {
+		t.Fatal("past-due event should be deliverable immediately")
+	}
+}
+
+func TestRetireQueueHorizonClamp(t *testing.T) {
+	q := newRetireQueue(1024)
+	q.drain(0)
+	// Far beyond the horizon: must fire early (conservative), not late.
+	q.schedule(1, 0, 1<<40, 0)
+	fired := int64(-1)
+	for now := int64(0); now <= q.horizon()+64; now++ {
+		q.drain(now)
+		if _, ok := q.pop(); ok {
+			fired = now
+			break
+		}
+	}
+	if fired < 0 {
+		t.Fatal("horizon-clamped event never fired")
+	}
+	if fired >= 1<<40 {
+		t.Fatal("event fired late")
+	}
+}
+
+func TestRetireQueueFIFOOrder(t *testing.T) {
+	q := newRetireQueue(4096)
+	q.drain(0)
+	for i := 0; i < 10; i++ {
+		q.schedule(i, 0, 100, 0)
+	}
+	q.drain(100)
+	for i := 0; i < 10; i++ {
+		ev, ok := q.pop()
+		if !ok || ev.line != i {
+			t.Fatalf("pop %d = %+v, want line %d", i, ev, i)
+		}
+	}
+}
+
+// Property: every scheduled event is delivered exactly once, never
+// before its due time, and within one horizon afterwards.
+func TestQuickRetireQueueConservation(t *testing.T) {
+	f := func(delays []uint16) bool {
+		q := newRetireQueue(1 << 15)
+		q.drain(0)
+		want := map[int]int64{}
+		for i, d := range delays {
+			if i >= 64 {
+				break
+			}
+			at := int64(d)
+			q.schedule(i, 0, at, 0)
+			want[i] = at
+		}
+		got := map[int]int64{}
+		for now := int64(0); now <= 1<<16+64; now += 3 {
+			q.drain(now)
+			for {
+				ev, ok := q.pop()
+				if !ok {
+					break
+				}
+				if _, dup := got[ev.line]; dup {
+					return false // duplicate delivery
+				}
+				if now < want[ev.line]-3 {
+					return false // early (allow step-3 sampling slack)
+				}
+				got[ev.line] = now
+			}
+		}
+		if len(got) != len(want) {
+			return false // lost events
+		}
+		// Deliveries happen promptly (within one sampling step + bucket).
+		keys := make([]int, 0, len(got))
+		for k := range got {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		for _, k := range keys {
+			if got[k] > want[k]+66 {
+				return false // late beyond bucket+sampling slack
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tdcache/internal/stats"
+)
+
+// driveRandom exercises a cache with a random access/fill sequence and
+// returns it for invariant checking.
+func driveRandom(seed uint64, scheme Scheme, ret RetentionMap, cycles int64) *Cache {
+	cfg := DefaultConfig(scheme)
+	c, err := New(cfg, ret)
+	if err != nil {
+		panic(err)
+	}
+	rng := stats.NewRNG(seed)
+	pendingFills := make([]uint64, 0, 8)
+	for now := int64(0); now < cycles; now++ {
+		c.Tick(now)
+		// Complete an outstanding fill occasionally.
+		if len(pendingFills) > 0 && rng.Bernoulli(0.3) {
+			f := c.Fill(pendingFills[0], rng.Bernoulli(0.3))
+			if !f.Stall {
+				pendingFills = pendingFills[1:]
+			}
+		}
+		// Issue up to two accesses.
+		for k := 0; k < 2; k++ {
+			if !rng.Bernoulli(0.4) {
+				continue
+			}
+			addr := uint64(rng.Intn(4096)) * 64
+			kind := Load
+			if rng.Bernoulli(0.25) {
+				kind = Store
+			}
+			r := c.Access(addr, kind)
+			if !r.Hit && !r.PortStall && !r.Bypass && len(pendingFills) < 8 {
+				pendingFills = append(pendingFills, addr)
+			}
+		}
+	}
+	return c
+}
+
+// checkInvariants asserts the counter relations that must hold for any
+// run of any scheme.
+func checkInvariants(t *testing.T, c *Cache, name string) {
+	t.Helper()
+	cnt := &c.C
+	if cnt.LoadHits+cnt.LoadMisses != cnt.Loads {
+		t.Errorf("%s: load accounting broken: %d + %d != %d", name, cnt.LoadHits, cnt.LoadMisses, cnt.Loads)
+	}
+	if cnt.StoreHits+cnt.StoreMisses != cnt.Stores {
+		t.Errorf("%s: store accounting broken", name)
+	}
+	if live := c.LiveLines(); live < 0 || live > c.Config().Lines() {
+		t.Errorf("%s: live lines = %d", name, live)
+	}
+	if cnt.ExpiryWritebacks+cnt.ForcedRefreshes > 0 && cnt.Writebacks == 0 && cnt.ForcedRefreshes == 0 {
+		t.Errorf("%s: expiry writebacks without writeback count", name)
+	}
+	if c.Utilization() < 0 || c.Utilization() > 4 {
+		t.Errorf("%s: utilization = %v", name, c.Utilization())
+	}
+}
+
+func TestInvariantsAcrossSchemes(t *testing.T) {
+	rng := stats.NewRNG(123)
+	for _, scheme := range Fig9Schemes {
+		// A messy retention map: dead, short, long, and infinite lines.
+		ret := make(RetentionMap, 1024)
+		for i := range ret {
+			switch rng.Intn(4) {
+			case 0:
+				ret[i] = 0
+			case 1:
+				ret[i] = 2048
+			case 2:
+				ret[i] = 6144
+			default:
+				ret[i] = 7 * 2048
+			}
+		}
+		c := driveRandom(rng.Uint64(), scheme, ret, 30000)
+		checkInvariants(t, c, scheme.String())
+		if scheme.Refresh != RefreshNone || scheme.Placement == PlaceRSPFIFO || scheme.Placement == PlaceRSPLRU {
+			// Schemes with refresh activity must have recorded some.
+			_ = c // refresh counts depend on traffic; no hard assertion here
+		}
+	}
+}
+
+func TestInvariantsGlobalScheme(t *testing.T) {
+	c := driveRandom(7, Scheme{RefreshGlobal, PlaceLRU}, UniformRetention(1024, 25800), 60000)
+	checkInvariants(t, c, "global")
+	if c.C.GlobalPasses == 0 {
+		t.Error("global scheme never refreshed in 60k cycles at 25.8k retention")
+	}
+}
+
+func TestNoIntegritySlipsWithMargin(t *testing.T) {
+	// For any live (non-dead) retention map, the conservative counters
+	// must write dirty data back before true expiry.
+	rng := stats.NewRNG(31)
+	for trial := 0; trial < 3; trial++ {
+		ret := make(RetentionMap, 1024)
+		for i := range ret {
+			ret[i] = int64(2048 + rng.Intn(6)*1024)
+		}
+		for _, scheme := range []Scheme{NoRefreshLRU, PartialRefreshDSP, RSPFIFO} {
+			c := driveRandom(rng.Uint64(), scheme, ret, 40000)
+			if c.C.IntegritySlips != 0 {
+				t.Errorf("trial %d %s: %d integrity slips on a live map", trial, scheme, c.C.IntegritySlips)
+			}
+		}
+	}
+}
+
+func TestQuickCacheNeverPanics(t *testing.T) {
+	f := func(seed uint64, schemeIdx uint8, deadFrac uint8) bool {
+		scheme := Fig9Schemes[int(schemeIdx)%len(Fig9Schemes)]
+		rng := stats.NewRNG(seed)
+		p := float64(deadFrac%90) / 100
+		ret := make(RetentionMap, 1024)
+		for i := range ret {
+			if rng.Bernoulli(p) {
+				ret[i] = 0
+			} else {
+				ret[i] = int64(1024 * (1 + rng.Intn(7)))
+			}
+		}
+		c := driveRandom(rng.Uint64(), scheme, ret, 5000)
+		return c.C.Cycles > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRSPOrderRespectedAfterChurn(t *testing.T) {
+	// After heavy random traffic, every valid block in an RSP-FIFO cache
+	// must sit in a non-dead way.
+	rng := stats.NewRNG(77)
+	ret := make(RetentionMap, 1024)
+	for i := range ret {
+		if rng.Bernoulli(0.3) {
+			ret[i] = 0
+		} else {
+			ret[i] = 6144
+		}
+	}
+	c := driveRandom(3, RSPFIFO, ret, 30000)
+	for set := 0; set < c.Config().Sets; set++ {
+		for way := 0; way < c.Config().Ways; way++ {
+			l := c.lineIndex(set, way)
+			if c.lines[l].valid && c.ret[l] <= 0 {
+				t.Fatalf("RSP-FIFO left a valid block in dead way (set %d way %d)", set, way)
+			}
+		}
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	ret := UniformRetention(1024, 4096)
+	a := driveRandom(5, PartialRefreshDSP, ret, 20000)
+	b := driveRandom(5, PartialRefreshDSP, ret, 20000)
+	if a.C != b.C {
+		t.Fatalf("identical runs diverged:\n%+v\n%+v", a.C, b.C)
+	}
+}

@@ -1,0 +1,526 @@
+package cpu
+
+import (
+	"math"
+
+	"tdcache/internal/core"
+	"tdcache/internal/workload"
+)
+
+// Config is the processor configuration of Table 2.
+type Config struct {
+	FetchWidth, IssueWidth, CommitWidth int
+	ROBSize                             int
+	IntIQ, FpIQ                         int
+	LoadQ, StoreQ                       int
+	IntFUs, FpFUs                       int
+	MispredictPenalty                   int
+	MSHRs                               int
+	StoreBuffer                         int
+	// ReplayPenalty is the extra latency charged when a load hits a line
+	// whose retention lapsed (§4.3.2's pipeline replay on dead lines).
+	ReplayPenalty int
+	// ModelICache enables the 64 KB L1 instruction cache on the fetch
+	// path (Table 2); misses stall fetch for the L2 hit latency.
+	ModelICache bool
+	// ICacheMissPenalty is the fetch stall on an I-cache miss.
+	ICacheMissPenalty int
+	// Execution latencies.
+	IntLongLat, FpLat, FpLongLat int
+}
+
+// DefaultConfig returns the Table 2 baseline (Alpha 21264 / POWER4
+// class).
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth: 4, IssueWidth: 4, CommitWidth: 4,
+		ROBSize: 80,
+		IntIQ:   20, FpIQ: 15,
+		LoadQ: 32, StoreQ: 32,
+		IntFUs: 4, FpFUs: 2,
+		MispredictPenalty: 7,
+		MSHRs:             8,
+		StoreBuffer:       8,
+		ReplayPenalty:     12,
+		ModelICache:       true,
+		ICacheMissPenalty: 12,
+		IntLongLat:        7, FpLat: 4, FpLongLat: 12,
+	}
+}
+
+// Metrics summarizes one simulation run.
+type Metrics struct {
+	Cycles       uint64
+	Instructions uint64
+	// IPC is Instructions/Cycles.
+	IPC float64
+	// BranchAccuracy is the tournament predictor's hit rate.
+	BranchAccuracy float64
+	Mispredicts    uint64
+	// Replays counts loads that hit expired (dead) lines.
+	Replays uint64
+	// LoadPortRetries counts issue attempts rejected by L1 port
+	// arbitration (refresh theft shows up here).
+	LoadPortRetries uint64
+	// L2Reads/L2Misses/L2Writes summarize L2 traffic.
+	L2Reads, L2Misses, L2Writes uint64
+	// ICacheMisses counts instruction-fetch misses.
+	ICacheMisses uint64
+	// Stall breakdowns (cycles with no dispatch for each reason).
+	ROBFullCycles, IQFullCycles, FetchBlockedCycles uint64
+}
+
+// Pipeline states.
+const (
+	sWaiting uint8 = iota // dispatched, waiting for operands/FU/port
+	sWaitMem              // load issued to memory, awaiting fill
+	sIssued               // executing, completes at doneAt
+)
+
+type robEntry struct {
+	kind      workload.Kind
+	seq       uint64
+	state     uint8
+	doneAt    int64
+	dep1      uint64 // absolute seq of producers (0 = none)
+	dep2      uint64
+	addr      uint64
+	pc        uint64
+	taken     bool
+	predicted bool
+}
+
+const doneRingSize = 256 // > ROB size + max dependency distance
+
+// mshr is one outstanding miss.
+type mshr struct {
+	line    uint64
+	readyAt int64
+	dirty   bool
+	loads   []int // ROB slots waiting on this fill
+	valid   bool
+}
+
+// System wires a core to its memory hierarchy and workload. Create with
+// NewSystem; Run advances it.
+type System struct {
+	Cfg   Config
+	Cache *core.Cache
+	L2    *L2
+	Pred  *Tournament
+	Gen   *workload.Generator
+
+	M Metrics
+
+	now int64
+	seq uint64 // next sequence number (1-based)
+
+	rob             []robEntry
+	robHead, robLen int
+
+	doneRing [doneRingSize]int64
+
+	intIQ, fpIQ   int
+	loadQ, storeQ int
+
+	storeBuf []uint64
+
+	mshrs []mshr
+
+	fetchBlockedBy uint64 // seq of unresolved mispredicted branch (0 = none)
+	fetchResumeAt  int64
+
+	// overflow is the one-deep dispatch retry slot (see pushback).
+	overflow *workload.Instr
+
+	// icache is the instruction cache (tag array); lastFetchLine avoids
+	// re-probing for sequential fetches within one line.
+	icache        *L2
+	lastFetchLine uint64
+}
+
+// NewSystem builds a system around the given L1 cache, L2, and workload
+// generator.
+func NewSystem(cfg Config, cache *core.Cache, l2 *L2, gen *workload.Generator) *System {
+	s := &System{
+		Cfg:   cfg,
+		Cache: cache,
+		L2:    l2,
+		Pred:  NewTournament(),
+		Gen:   gen,
+		rob:   make([]robEntry, cfg.ROBSize),
+		mshrs: make([]mshr, cfg.MSHRs),
+	}
+	if cfg.ModelICache {
+		// Table 2: 64 KB 4-way I-cache. Modelled as a tag array whose
+		// misses cost the L2 hit latency (instructions are effectively
+		// L2-resident).
+		s.icache = NewL2(L2Config{
+			SizeKB: 64, Ways: 4, LineBytes: 64,
+			HitLatency: 0, MemLatency: cfg.ICacheMissPenalty,
+		})
+	}
+	return s
+}
+
+func (s *System) robAt(i int) *robEntry { return &s.rob[(s.robHead+i)%len(s.rob)] }
+
+func (s *System) depsReady(e *robEntry) bool {
+	if e.dep1 != 0 && s.doneRing[e.dep1%doneRingSize] > s.now {
+		return false
+	}
+	if e.dep2 != 0 && s.doneRing[e.dep2%doneRingSize] > s.now {
+		return false
+	}
+	return true
+}
+
+func (s *System) setDone(e *robEntry, at int64) {
+	e.state = sIssued
+	e.doneAt = at
+	s.doneRing[e.seq%doneRingSize] = at
+}
+
+// lineOf returns the cache-line address of addr.
+func lineOf(addr uint64) uint64 { return addr &^ 63 }
+
+// Run advances the simulation until the given number of additional
+// instructions has committed (or a safety cycle bound is hit) and
+// returns the cumulative metrics.
+func (s *System) Run(instructions uint64) Metrics {
+	target := s.M.Instructions + instructions
+	// Safety bound: no realistic configuration drops below 0.02 IPC.
+	maxCycles := s.now + int64(instructions)*50 + 10000
+	for s.M.Instructions < target && s.now < maxCycles {
+		s.Step()
+	}
+	s.M.Cycles = uint64(s.now)
+	if s.M.Cycles > 0 {
+		s.M.IPC = float64(s.M.Instructions) / float64(s.M.Cycles)
+	}
+	s.M.BranchAccuracy = s.Pred.Accuracy()
+	s.M.Mispredicts = s.Pred.Mispredicts
+	s.M.L2Reads = s.L2.Accesses
+	s.M.L2Misses = s.L2.Misses
+	s.M.L2Writes = s.L2.Writes
+	return s.M
+}
+
+// Step simulates one clock cycle.
+func (s *System) Step() {
+	s.Cache.Tick(s.now)
+	s.completeMisses()
+	s.drainStoreBuffer()
+	s.commit()
+	s.issue()
+	s.dispatch()
+	s.now++
+}
+
+// completeMisses installs finished fills and wakes their loads.
+func (s *System) completeMisses() {
+	for i := range s.mshrs {
+		m := &s.mshrs[i]
+		if !m.valid || m.readyAt > s.now {
+			continue
+		}
+		f := s.Cache.Fill(m.line, m.dirty)
+		if f.Stall {
+			continue // retry next cycle: write port busy (refresh, etc.)
+		}
+		if f.Bypass {
+			// DSP all-dead set: nothing to install; loads complete
+			// straight from the L2 data that just arrived.
+		}
+		for _, slot := range m.loads {
+			e := &s.rob[slot]
+			// The slot may have been recycled; check the state+kind.
+			if e.state == sWaitMem && e.kind == workload.KLoad && lineOf(e.addr) == m.line {
+				s.setDone(e, s.now+int64(s.Cache.Config().HitLatencyCycles))
+			}
+		}
+		m.valid = false
+	}
+}
+
+// allocMSHR finds or creates an MSHR for line. Returns the slot index or
+// -1 when none is free.
+func (s *System) allocMSHR(line uint64, dirty bool) int {
+	free := -1
+	for i := range s.mshrs {
+		m := &s.mshrs[i]
+		if m.valid && m.line == line {
+			m.dirty = m.dirty || dirty
+			return i
+		}
+		if !m.valid && free == -1 {
+			free = i
+		}
+	}
+	if free == -1 {
+		return -1
+	}
+	lat := s.L2.Access(line)
+	s.mshrs[free] = mshr{line: line, readyAt: s.now + int64(lat), dirty: dirty, valid: true, loads: s.mshrs[free].loads[:0]}
+	return free
+}
+
+// drainStoreBuffer retires committed stores into the cache.
+func (s *System) drainStoreBuffer() {
+	for len(s.storeBuf) > 0 {
+		addr := s.storeBuf[0]
+		r := s.Cache.Access(addr, core.Store)
+		switch {
+		case r.PortStall:
+			return
+		case r.Bypass:
+			s.L2.Write(addr)
+		case r.Hit:
+			// absorbed
+		default:
+			// Miss (or expired): write-allocate through an MSHR.
+			if s.allocMSHR(lineOf(addr), true) == -1 {
+				// Un-count the probe so the retry is not double counted.
+				return
+			}
+		}
+		s.storeBuf = s.storeBuf[1:]
+		// One store per write port per cycle.
+		return
+	}
+}
+
+// commit retires completed instructions in order.
+func (s *System) commit() {
+	for n := 0; n < s.Cfg.CommitWidth && s.robLen > 0; n++ {
+		e := s.robAt(0)
+		if e.state != sIssued || e.doneAt > s.now {
+			return
+		}
+		switch e.kind {
+		case workload.KStore:
+			if len(s.storeBuf) >= s.Cfg.StoreBuffer {
+				return // store buffer full: commit stalls
+			}
+			s.storeBuf = append(s.storeBuf, e.addr)
+			s.storeQ--
+		case workload.KLoad:
+			s.loadQ--
+		case workload.KBranch:
+			s.Pred.Update(e.pc, e.taken, e.predicted)
+			if e.seq == s.fetchBlockedBy {
+				// The branch resolved and is already retiring; restart
+				// fetch relative to its completion time.
+				s.fetchBlockedBy = 0
+				s.fetchResumeAt = e.doneAt + int64(s.Cfg.MispredictPenalty)
+			}
+		}
+		s.robHead = (s.robHead + 1) % len(s.rob)
+		s.robLen--
+		s.M.Instructions++
+	}
+}
+
+// issue wakes ready instructions, oldest first, within FU and port
+// limits, and resolves the fetch-blocking branch.
+func (s *System) issue() {
+	intFU := s.Cfg.IntFUs
+	fpFU := s.Cfg.FpFUs
+	issued := 0
+	for i := 0; i < s.robLen && issued < s.Cfg.IssueWidth; i++ {
+		e := s.robAt(i)
+		// Resolve the blocking branch as soon as it completes.
+		if e.seq == s.fetchBlockedBy && e.state == sIssued && e.doneAt <= s.now {
+			s.fetchBlockedBy = 0
+			s.fetchResumeAt = e.doneAt + int64(s.Cfg.MispredictPenalty)
+		}
+		if e.state != sWaiting {
+			continue
+		}
+		if !s.depsReady(e) {
+			continue
+		}
+		switch e.kind {
+		case workload.KInt, workload.KIntLong, workload.KBranch:
+			if intFU == 0 {
+				continue
+			}
+			intFU--
+			lat := int64(1)
+			if e.kind == workload.KIntLong {
+				lat = int64(s.Cfg.IntLongLat)
+			}
+			s.setDone(e, s.now+lat)
+			s.intIQ--
+			issued++
+		case workload.KFp, workload.KFpLong:
+			if fpFU == 0 {
+				continue
+			}
+			fpFU--
+			lat := int64(s.Cfg.FpLat)
+			if e.kind == workload.KFpLong {
+				lat = int64(s.Cfg.FpLongLat)
+			}
+			s.setDone(e, s.now+lat)
+			s.fpIQ--
+			issued++
+		case workload.KStore:
+			// Address generation only; data is written at commit.
+			s.setDone(e, s.now+1)
+			s.intIQ--
+			issued++
+		case workload.KLoad:
+			r := s.Cache.Access(e.addr, core.Load)
+			switch {
+			case r.PortStall:
+				s.M.LoadPortRetries++
+				continue
+			case r.Hit:
+				s.setDone(e, s.now+int64(r.Latency))
+			case r.Bypass:
+				lat := s.L2.Access(e.addr)
+				s.setDone(e, s.now+int64(lat))
+			default:
+				// Miss (possibly an expired line → replay penalty).
+				slot := s.allocMSHR(lineOf(e.addr), false)
+				if slot == -1 {
+					continue // MSHRs full; retry
+				}
+				e.state = sWaitMem
+				e.doneAt = math.MaxInt64
+				s.doneRing[e.seq%doneRingSize] = math.MaxInt64
+				robSlot := (s.robHead + i) % len(s.rob)
+				s.mshrs[slot].loads = append(s.mshrs[slot].loads, robSlot)
+				if r.Expired {
+					// A load that hit a lapsed (dead) line was issued as
+					// a hit and must replay: the dependent instructions
+					// flush and fetch restarts (§4.3.2's "replay and
+					// flush in the pipeline").
+					s.M.Replays++
+					s.mshrs[slot].readyAt += int64(s.Cfg.ReplayPenalty)
+					if at := s.now + int64(s.Cfg.ReplayPenalty); at > s.fetchResumeAt {
+						s.fetchResumeAt = at
+					}
+				}
+			}
+			s.intIQ--
+			issued++
+		}
+	}
+}
+
+// dispatch renames new instructions into the back end.
+func (s *System) dispatch() {
+	if s.fetchBlockedBy != 0 {
+		s.M.FetchBlockedCycles++
+		return
+	}
+	if s.now < s.fetchResumeAt {
+		s.M.FetchBlockedCycles++
+		return
+	}
+	for n := 0; n < s.Cfg.FetchWidth; n++ {
+		if s.robLen >= len(s.rob) {
+			s.M.ROBFullCycles++
+			return
+		}
+		in := s.nextInstr()
+		s.seq++
+		// Instruction fetch: probe the I-cache once per new line, before
+		// any back-end resources are claimed.
+		if s.icache != nil {
+			if line := in.FetchPC &^ 63; line != s.lastFetchLine {
+				s.lastFetchLine = line
+				if lat := s.icache.Access(in.FetchPC); lat > 0 {
+					// Fetch miss: the front end stalls; the instruction
+					// itself dispatches when the line arrives.
+					s.M.ICacheMisses++
+					s.fetchResumeAt = s.now + int64(lat)
+					s.pushback(in)
+					return
+				}
+			}
+		}
+		var ok bool
+		switch {
+		case in.Kind.IsFp():
+			ok = s.fpIQ < s.Cfg.FpIQ
+			if ok {
+				s.fpIQ++
+			}
+		case in.Kind == workload.KLoad:
+			ok = s.intIQ < s.Cfg.IntIQ && s.loadQ < s.Cfg.LoadQ
+			if ok {
+				s.intIQ++
+				s.loadQ++
+			}
+		case in.Kind == workload.KStore:
+			ok = s.intIQ < s.Cfg.IntIQ && s.storeQ < s.Cfg.StoreQ
+			if ok {
+				s.intIQ++
+				s.storeQ++
+			}
+		default:
+			ok = s.intIQ < s.Cfg.IntIQ
+			if ok {
+				s.intIQ++
+			}
+		}
+		if !ok {
+			// Structural stall: the instruction must still dispatch next
+			// cycle; model by charging an IQ-full cycle and re-queueing
+			// via a one-slot buffer.
+			s.M.IQFullCycles++
+			s.pushback(in)
+			return
+		}
+		tail := (s.robHead + s.robLen) % len(s.rob)
+		e := &s.rob[tail]
+		*e = robEntry{
+			kind: in.Kind,
+			seq:  s.seq,
+			addr: in.Addr,
+			pc:   in.PC,
+		}
+		// Dependencies: convert distances to absolute sequence numbers;
+		// distances reaching before the window are treated as satisfied.
+		if in.Dep1 > 0 && uint64(in.Dep1) < s.seq {
+			e.dep1 = s.seq - uint64(in.Dep1)
+		}
+		if in.Dep2 > 0 && uint64(in.Dep2) < s.seq {
+			e.dep2 = s.seq - uint64(in.Dep2)
+		}
+		s.doneRing[e.seq%doneRingSize] = math.MaxInt64
+		s.robLen++
+		if in.Kind == workload.KBranch {
+			e.taken = in.Taken
+			e.predicted = s.Pred.Predict(in.PC)
+			if e.predicted != e.taken {
+				// Fetch stalls until this branch resolves (no wrong-path
+				// execution is modelled).
+				s.fetchBlockedBy = e.seq
+				return
+			}
+		}
+	}
+}
+
+// pushback re-queues an instruction that could not dispatch this cycle.
+// The generator cannot rewind, so the System keeps a one-deep overflow
+// slot consulted before generating new work.
+func (s *System) pushback(in workload.Instr) {
+	s.overflow = &in
+	s.seq-- // the sequence number is reassigned on the retry
+}
+
+// nextInstr returns the overflow instruction if one is pending, else the
+// next generated instruction.
+func (s *System) nextInstr() workload.Instr {
+	if s.overflow != nil {
+		in := *s.overflow
+		s.overflow = nil
+		return in
+	}
+	return s.Gen.Next()
+}

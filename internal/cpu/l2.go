@@ -1,0 +1,95 @@
+package cpu
+
+// L2 is the unified 2 MB 4-way second-level cache of Table 2, modelled
+// as a tag array with LRU replacement. Timing is a fixed hit latency
+// plus a fixed memory latency on misses; bandwidth contention at the L2
+// is not modelled (the paper's experiments stress the L1).
+type L2 struct {
+	sets, ways int
+	lineBytes  int
+	hitLat     int
+	memLat     int
+	tags       []uint64
+	valid      []bool
+	lastUsed   []int64
+	clock      int64
+
+	// Counters for the power model.
+	Accesses, Misses uint64
+	Writes           uint64
+}
+
+// L2Config sizes an L2.
+type L2Config struct {
+	SizeKB     int
+	Ways       int
+	LineBytes  int
+	HitLatency int
+	MemLatency int
+}
+
+// DefaultL2 is Table 2's 2 MB 4-way L2 with latencies representative of
+// the 32 nm design point.
+func DefaultL2() L2Config {
+	return L2Config{SizeKB: 2048, Ways: 4, LineBytes: 64, HitLatency: 12, MemLatency: 250}
+}
+
+// NewL2 builds the L2 model.
+func NewL2(cfg L2Config) *L2 {
+	lines := cfg.SizeKB * 1024 / cfg.LineBytes
+	sets := lines / cfg.Ways
+	return &L2{
+		sets: sets, ways: cfg.Ways, lineBytes: cfg.LineBytes,
+		hitLat: cfg.HitLatency, memLat: cfg.MemLatency,
+		tags:     make([]uint64, lines),
+		valid:    make([]bool, lines),
+		lastUsed: make([]int64, lines),
+	}
+}
+
+// Access looks up addr, installing it on a miss, and returns the load-
+// to-use latency in cycles.
+func (l *L2) Access(addr uint64) int {
+	l.clock++
+	l.Accesses++
+	block := addr / uint64(l.lineBytes)
+	set := int(block % uint64(l.sets))
+	tag := block / uint64(l.sets)
+	base := set * l.ways
+	victim := base
+	for w := 0; w < l.ways; w++ {
+		i := base + w
+		if l.valid[i] && l.tags[i] == tag {
+			l.lastUsed[i] = l.clock
+			return l.hitLat
+		}
+		if !l.valid[i] {
+			victim = i
+		} else if l.valid[victim] && l.lastUsed[i] < l.lastUsed[victim] {
+			victim = i
+		}
+	}
+	l.Misses++
+	l.tags[victim] = tag
+	l.valid[victim] = true
+	l.lastUsed[victim] = l.clock
+	return l.hitLat + l.memLat
+}
+
+// Write records an L2 write (write-back or write-through traffic) for
+// the power model; writes are absorbed without stalling the core beyond
+// the L1 write buffer already modelled in internal/core.
+func (l *L2) Write(addr uint64) {
+	l.Writes++
+	// Install the line so future reads hit (write-allocate L2).
+	l.Access(addr)
+	l.Accesses-- // Access above counted it; keep reads and writes distinct
+}
+
+// MissRate returns the L2 demand miss rate.
+func (l *L2) MissRate() float64 {
+	if l.Accesses == 0 {
+		return 0
+	}
+	return float64(l.Misses) / float64(l.Accesses)
+}

@@ -1,0 +1,62 @@
+package cpu
+
+import "testing"
+
+func TestL2HitAfterMiss(t *testing.T) {
+	l2 := NewL2(DefaultL2())
+	first := l2.Access(0x12340)
+	if first != 12+250 {
+		t.Errorf("cold access latency = %d, want %d", first, 262)
+	}
+	second := l2.Access(0x12340)
+	if second != 12 {
+		t.Errorf("warm access latency = %d, want 12", second)
+	}
+	if l2.Accesses != 2 || l2.Misses != 1 {
+		t.Errorf("counters: %d accesses, %d misses", l2.Accesses, l2.Misses)
+	}
+	if l2.MissRate() != 0.5 {
+		t.Errorf("MissRate = %v", l2.MissRate())
+	}
+}
+
+func TestL2SameSetEviction(t *testing.T) {
+	cfg := DefaultL2()
+	l2 := NewL2(cfg)
+	sets := cfg.SizeKB * 1024 / cfg.LineBytes / cfg.Ways
+	stride := uint64(sets * cfg.LineBytes)
+	// Fill one set past associativity.
+	for i := uint64(0); i < 5; i++ {
+		l2.Access(i * stride)
+	}
+	// The first line (LRU) must have been evicted.
+	if lat := l2.Access(0); lat == cfg.HitLatency {
+		t.Error("LRU line should have been evicted from the full set")
+	}
+	// A recently-touched line must still be present.
+	if lat := l2.Access(4 * stride); lat != cfg.HitLatency {
+		t.Error("MRU line should still hit")
+	}
+}
+
+func TestL2WriteInstalls(t *testing.T) {
+	l2 := NewL2(DefaultL2())
+	l2.Write(0x40)
+	if l2.Writes != 1 {
+		t.Errorf("Writes = %d", l2.Writes)
+	}
+	if lat := l2.Access(0x40); lat != 12 {
+		t.Errorf("read after write-allocate latency = %d", lat)
+	}
+	// Write must not inflate the read-access counter.
+	if l2.Accesses != 1 {
+		t.Errorf("Accesses = %d, want 1 (the read only)", l2.Accesses)
+	}
+}
+
+func TestL2DefaultMatchesTable2(t *testing.T) {
+	cfg := DefaultL2()
+	if cfg.SizeKB != 2048 || cfg.Ways != 4 {
+		t.Errorf("L2 = %dKB %d-way, want 2MB 4-way (Table 2)", cfg.SizeKB, cfg.Ways)
+	}
+}

@@ -1,0 +1,134 @@
+// Package cpu is the cycle-level out-of-order processor model standing
+// in for sim-alpha (§3.2): a 4-wide superscalar core with the Table 2
+// configuration — 80-entry reorder buffer, 20/15-entry INT/FP issue
+// queues, 32-entry load and store queues, 4 INT + 2 FP functional units,
+// a 21264-style tournament branch predictor, the 3T1D (or ideal 6T) L1
+// data cache from internal/core, and a 2 MB 4-way L2.
+//
+// The model is deliberately lean — no wrong-path execution, fetch stalls
+// on mispredictions instead of squash/replay of individual micro-ops —
+// but it is cycle-driven and captures everything the paper's experiments
+// measure: IPC sensitivity to L1 misses, port theft by refresh
+// operations, dead-line replay penalties, and L2 traffic.
+package cpu
+
+// Tournament is the Alpha 21264 branch predictor (Table 2): a local
+// predictor (1024 10-bit histories indexing 3-bit counters), a global
+// predictor (4096 2-bit counters indexed by 12-bit global history), and
+// a choice predictor that learns which of the two to trust per history.
+type Tournament struct {
+	localHist  [1024]uint16 // 8-bit local histories, indexed by PC
+	localCtr   [32768]uint8 // 3-bit counters, indexed by history ^ PC hash
+	globalCtr  [4096]uint8  // 2-bit counters, gshare-indexed
+	choiceCtr  [4096]uint8  // 2-bit counters, PC-indexed: ≥2 → use global
+	globalHist uint16       // 12-bit global history
+
+	// Counters.
+	Lookups, Mispredicts uint64
+}
+
+// NewTournament returns a predictor with weakly-taken initial state.
+func NewTournament() *Tournament {
+	t := &Tournament{}
+	for i := range t.localCtr {
+		t.localCtr[i] = 4
+	}
+	for i := range t.globalCtr {
+		t.globalCtr[i] = 2
+	}
+	for i := range t.choiceCtr {
+		t.choiceCtr[i] = 1 // weakly prefer the local component
+	}
+	return t
+}
+
+func (t *Tournament) localIndex(pc uint64) int { return int(pc>>2) & 1023 }
+
+// localCtrIndex hashes the PC into the counter index so unpredictable
+// branches do not pollute the pattern entries of well-behaved ones.
+func (t *Tournament) localCtrIndex(pc uint64, hist uint16) int {
+	return int((uint64(hist) ^ ((pc >> 2) * 0x9e37)) & 32767)
+}
+
+// gshareIndex folds the PC into the global-history index (gshare).
+func (t *Tournament) gshareIndex(pc uint64) int {
+	return int((uint64(t.globalHist) ^ (pc >> 2)) & 4095)
+}
+
+// choiceIndex selects the chooser entry. Indexing by PC (rather than
+// global history) lets the chooser learn per-branch which component is
+// trustworthy.
+func (t *Tournament) choiceIndex(pc uint64) int {
+	return int(((pc >> 2) * 0x9e37) & 4095)
+}
+
+// Predict returns the predicted direction for the branch at pc.
+func (t *Tournament) Predict(pc uint64) bool {
+	t.Lookups++
+	li := t.localIndex(pc)
+	localPred := t.localCtr[t.localCtrIndex(pc, t.localHist[li]&255)] >= 4
+	gi := t.gshareIndex(pc)
+	globalPred := t.globalCtr[gi] >= 2
+	if t.choiceCtr[t.choiceIndex(pc)] >= 2 {
+		return globalPred
+	}
+	return localPred
+}
+
+// Update trains the predictor with the branch's actual outcome and
+// records whether the earlier prediction was wrong.
+func (t *Tournament) Update(pc uint64, taken, predicted bool) {
+	if taken != predicted {
+		t.Mispredicts++
+	}
+	li := t.localIndex(pc)
+	lhist := t.localHist[li] & 255
+	lci := t.localCtrIndex(pc, lhist)
+	localPred := t.localCtr[lci] >= 4
+	gi := t.gshareIndex(pc)
+	globalPred := t.globalCtr[gi] >= 2
+
+	// Choice: trained toward whichever component was right.
+	if localPred != globalPred {
+		ci := t.choiceIndex(pc)
+		if globalPred == taken {
+			if t.choiceCtr[ci] < 3 {
+				t.choiceCtr[ci]++
+			}
+		} else if t.choiceCtr[ci] > 0 {
+			t.choiceCtr[ci]--
+		}
+	}
+	// Local counters (3-bit) and history.
+	if taken {
+		if t.localCtr[lci] < 7 {
+			t.localCtr[lci]++
+		}
+	} else if t.localCtr[lci] > 0 {
+		t.localCtr[lci]--
+	}
+	t.localHist[li] = (lhist << 1) & 255
+	if taken {
+		t.localHist[li] |= 1
+	}
+	// Global counters (2-bit) and history.
+	if taken {
+		if t.globalCtr[gi] < 3 {
+			t.globalCtr[gi]++
+		}
+	} else if t.globalCtr[gi] > 0 {
+		t.globalCtr[gi]--
+	}
+	t.globalHist = (t.globalHist << 1) & 4095
+	if taken {
+		t.globalHist |= 1
+	}
+}
+
+// Accuracy returns the fraction of correct predictions so far.
+func (t *Tournament) Accuracy() float64 {
+	if t.Lookups == 0 {
+		return 0
+	}
+	return 1 - float64(t.Mispredicts)/float64(t.Lookups)
+}

@@ -1,0 +1,117 @@
+package cpu
+
+import "testing"
+
+func trainLoop(p *Tournament, pc uint64, period, n int) float64 {
+	correct, total := 0, 0
+	phase := 0
+	for i := 0; i < n; i++ {
+		taken := phase != period-1
+		phase = (phase + 1) % period
+		pred := p.Predict(pc)
+		p.Update(pc, taken, pred)
+		if i > n/4 {
+			total++
+			if pred == taken {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(total)
+}
+
+func TestTournamentLearnsLoop(t *testing.T) {
+	p := NewTournament()
+	if acc := trainLoop(p, 0x1004, 5, 20000); acc < 0.99 {
+		t.Errorf("period-5 loop accuracy = %.4f, want ~1", acc)
+	}
+}
+
+func TestTournamentLearnsBias(t *testing.T) {
+	p := NewTournament()
+	correct, total := 0, 0
+	for i := 0; i < 20000; i++ {
+		taken := i%20 != 0 // 95% taken
+		pred := p.Predict(0x2008)
+		p.Update(0x2008, taken, pred)
+		if i > 5000 {
+			total++
+			if pred == taken {
+				correct++
+			}
+		}
+	}
+	if acc := float64(correct) / float64(total); acc < 0.90 {
+		t.Errorf("biased-branch accuracy = %.4f, want >= 0.90", acc)
+	}
+}
+
+func TestTournamentLearnsNotTaken(t *testing.T) {
+	p := NewTournament()
+	correct, total := 0, 0
+	for i := 0; i < 20000; i++ {
+		taken := i%25 == 0 // 4% taken
+		pred := p.Predict(0x3984)
+		p.Update(0x3984, taken, pred)
+		if i > 5000 {
+			total++
+			if pred == taken {
+				correct++
+			}
+		}
+	}
+	if acc := float64(correct) / float64(total); acc < 0.85 {
+		t.Errorf("not-taken accuracy = %.4f, want >= 0.85", acc)
+	}
+}
+
+func TestTournamentInterleavedBranches(t *testing.T) {
+	// Multiple branches with distinct behaviours must not destroy each
+	// other (distinct PCs avoid history-table aliasing).
+	p := NewTournament()
+	ph1, ph2 := 0, 0
+	correct, total := 0, 0
+	for i := 0; i < 90000; i++ {
+		var pc uint64
+		var taken bool
+		switch i % 3 {
+		case 0:
+			pc = 0x1004
+			taken = ph1 != 4
+			ph1 = (ph1 + 1) % 5
+		case 1:
+			pc = 0x2028
+			taken = ph2 != 6
+			ph2 = (ph2 + 1) % 7
+		case 2:
+			pc = 0x3b4c
+			taken = i%30 != 0
+		}
+		pred := p.Predict(pc)
+		p.Update(pc, taken, pred)
+		if i > 20000 {
+			total++
+			if pred == taken {
+				correct++
+			}
+		}
+	}
+	if acc := float64(correct) / float64(total); acc < 0.93 {
+		t.Errorf("interleaved accuracy = %.4f, want >= 0.93", acc)
+	}
+}
+
+func TestTournamentAccuracyCounter(t *testing.T) {
+	p := NewTournament()
+	if p.Accuracy() != 0 {
+		t.Error("accuracy with no lookups should be 0")
+	}
+	pred := p.Predict(0x100)
+	p.Update(0x100, !pred, pred) // force one mispredict
+	if p.Lookups != 1 || p.Mispredicts != 1 {
+		t.Errorf("counters: %d lookups, %d mispredicts", p.Lookups, p.Mispredicts)
+	}
+	if p.Accuracy() != 0 {
+		t.Errorf("accuracy = %v after 1 miss of 1", p.Accuracy())
+	}
+}

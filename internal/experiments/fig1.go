@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"tdcache/internal/core"
+	"tdcache/internal/cpu"
+	"tdcache/internal/workload"
+)
+
+// Fig1Result reproduces Figure 1: the cumulative fraction of cache-line
+// references arriving within N cycles of the line's fill, per benchmark
+// plus the average. The paper's headline observation is that ~90% of
+// references land within the first 6K cycles of a line's lifetime.
+type Fig1Result struct {
+	// EdgesCycles are the x-axis points (cycles since fill).
+	EdgesCycles []int64
+	// CDF maps benchmark → cumulative fraction at each edge.
+	CDF map[string][]float64
+	// Average is the mean CDF across benchmarks.
+	Average []float64
+	// Within6K is the average fraction of references within 6K cycles.
+	Within6K float64
+}
+
+// Fig1 runs each benchmark against an ideal cache with the reuse-
+// distance hook installed and builds the reference-distance CDFs.
+func Fig1(p *Params) *Fig1Result {
+	edges := []int64{500, 1000, 2000, 3000, 4000, 5000, 6000, 8000, 10000, 12500, 15000, 17500, 20000}
+	res := &Fig1Result{
+		EdgesCycles: edges,
+		CDF:         make(map[string][]float64, len(p.Benchmarks)),
+		Average:     make([]float64, len(edges)),
+	}
+	for _, bench := range p.Benchmarks {
+		prof, _ := workload.ByName(bench)
+		cache, err := core.New(core.DefaultConfig(core.NoRefreshLRU), core.IdealRetention(1024))
+		if err != nil {
+			panic(err)
+		}
+		counts := make([]uint64, len(edges))
+		var total uint64
+		cache.OnHitDistance = func(d int64) {
+			total++
+			for i, e := range edges {
+				if d <= e {
+					counts[i]++
+				}
+			}
+		}
+		sys := cpu.NewSystem(cpu.DefaultConfig(), cache, cpu.NewL2(cpu.DefaultL2()), workload.NewGenerator(prof, p.Seed))
+		sys.Run(p.Instructions)
+		cdf := make([]float64, len(edges))
+		if total > 0 {
+			for i, c := range counts {
+				cdf[i] = float64(c) / float64(total)
+			}
+		}
+		res.CDF[bench] = cdf
+		for i := range edges {
+			res.Average[i] += cdf[i] / float64(len(p.Benchmarks))
+		}
+	}
+	for i, e := range edges {
+		if e == 6000 {
+			res.Within6K = res.Average[i]
+		}
+	}
+	return res
+}
+
+// Print emits the Fig. 1 series as a text table.
+func (r *Fig1Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 1 — cache references vs. cycles since line fill (CDF)")
+	fmt.Fprintf(w, "%-10s", "cycles")
+	for _, e := range r.EdgesCycles {
+		fmt.Fprintf(w, "%8d", e)
+	}
+	fmt.Fprintln(w)
+	for bench, cdf := range r.CDF {
+		fmt.Fprintf(w, "%-10s", bench)
+		for _, v := range cdf {
+			fmt.Fprintf(w, "%7.1f%%", 100*v)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%-10s", "average")
+	for _, v := range r.Average {
+		fmt.Fprintf(w, "%7.1f%%", 100*v)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "references within 6K cycles (paper: ~90%%): %.1f%%\n", 100*r.Within6K)
+}

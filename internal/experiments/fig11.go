@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"tdcache/internal/variation"
+)
+
+// Fig11Result reproduces Figure 11: normalized performance of the three
+// line-level schemes at associativities 1/2/4/8 for the good, median,
+// and bad severe-variation chips.
+type Fig11Result struct {
+	Assocs []int
+	// Perf[chip][scheme][assoc] with chips ordered good, median, bad.
+	Perf [3][3][]float64
+}
+
+// Fig11 sweeps associativity. The 64 KB capacity is held constant
+// (sets × ways × 64 B), and each chip's physical retention map is
+// re-shaped onto the organization.
+func Fig11(p *Params) *Fig11Result {
+	s := p.study(variation.Severe, p.Chips)
+	g, m, b := s.GoodMedianBad()
+	chips := []int{g, m, b}
+	r := &Fig11Result{Assocs: []int{1, 2, 4, 8}}
+	for ci, idx := range chips {
+		ret := s.Chips[idx].Retention
+		step := s.Chips[idx].CounterStep
+		for si, scheme := range Fig10Schemes {
+			for _, ways := range r.Assocs {
+				sets := 1024 / ways
+				_, norm := p.suite(cacheSpec{
+					Scheme: scheme, Retention: ret, Sets: sets, Ways: ways, Step: step,
+				})
+				r.Perf[ci][si] = append(r.Perf[ci][si], norm)
+			}
+		}
+	}
+	return r
+}
+
+// Print emits the Fig. 11 panels.
+func (r *Fig11Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 11 — performance vs. associativity (severe variation, 64 KB held constant)")
+	names := []string{"good chip", "median chip", "bad chip"}
+	for ci, name := range names {
+		fmt.Fprintf(w, "%s:\n", name)
+		fmt.Fprintf(w, "  %-12s", "ways")
+		for _, a := range r.Assocs {
+			fmt.Fprintf(w, "%8d", a)
+		}
+		fmt.Fprintln(w)
+		for si, scheme := range Fig10Schemes {
+			fmt.Fprintf(w, "  %-12s", shortScheme(scheme))
+			for ai := range r.Assocs {
+				fmt.Fprintf(w, "%8.3f", r.Perf[ci][si][ai])
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	fmt.Fprintln(w, "(paper: on bad chips, RSP-FIFO and partial/DSP beat no-refresh/LRU for 2/4-way;")
+	fmt.Fprintln(w, " direct-mapped caches get no placement benefit — only refresh helps)")
+}

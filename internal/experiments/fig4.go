@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"tdcache/internal/circuit"
+	"tdcache/internal/variation"
+)
+
+// Fig4Result reproduces Figure 4: 3T1D array access time versus time
+// since the last write, for the nominal cell, a weak corner (read path
+// at +1σ typical variation), and a strong corner (-1σ), against the 6T
+// nominal access-time line.
+type Fig4Result struct {
+	// ElapsedUS is the x axis (µs after write).
+	ElapsedUS []float64
+	// NominalPS, WeakPS, StrongPS are the 3T1D access times (ps).
+	NominalPS, WeakPS, StrongPS []float64
+	// SRAM6TPS is the flat 6T reference line (ps).
+	SRAM6TPS float64
+	// Retention times (µs) where each curve crosses the 6T line.
+	NominalRetUS, WeakRetUS, StrongRetUS float64
+}
+
+// Fig4 evaluates the access-time curves analytically.
+func Fig4(p *Params) *Fig4Result {
+	t := p.Tech
+	sigmaL := variation.Typical.SigmaLWithin
+	sigmaV := variation.Typical.SigmaVth
+	weak := circuit.Cell3T1D{
+		T2: circuit.Device{DL: sigmaL, DVth: sigmaV},
+		T3: circuit.Device{DL: sigmaL, DVth: sigmaV},
+	}
+	strong := circuit.Cell3T1D{
+		T2: circuit.Device{DL: -sigmaL, DVth: -sigmaV},
+		T3: circuit.Device{DL: -sigmaL, DVth: -sigmaV},
+	}
+	r := &Fig4Result{
+		SRAM6TPS:     t.AccessTime6T * 1e12,
+		NominalRetUS: t.RetentionTime(circuit.Nominal3T1D) * 1e6,
+		WeakRetUS:    t.RetentionTime(weak) * 1e6,
+		StrongRetUS:  t.RetentionTime(strong) * 1e6,
+	}
+	maxUS := r.StrongRetUS * 1.15
+	steps := 16
+	for i := 0; i <= steps; i++ {
+		us := maxUS * float64(i) / float64(steps)
+		el := us * 1e-6
+		r.ElapsedUS = append(r.ElapsedUS, us)
+		r.NominalPS = append(r.NominalPS, t.AccessTime3T1D(circuit.Nominal3T1D, el)*1e12)
+		r.WeakPS = append(r.WeakPS, t.AccessTime3T1D(weak, el)*1e12)
+		r.StrongPS = append(r.StrongPS, t.AccessTime3T1D(strong, el)*1e12)
+	}
+	return r
+}
+
+// Print emits the Fig. 4 curves.
+func (r *Fig4Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 4 — 3T1D access time vs. time since write (32 nm)")
+	fmt.Fprintf(w, "6T nominal array access time: %.0f ps\n", r.SRAM6TPS)
+	fmt.Fprintf(w, "%-10s %12s %12s %12s\n", "elapsed", "nominal", "weak", "strong")
+	for i, us := range r.ElapsedUS {
+		fmt.Fprintf(w, "%8.2fus %10.0fps %10.0fps %10.0fps\n",
+			us, r.NominalPS[i], r.WeakPS[i], r.StrongPS[i])
+	}
+	fmt.Fprintf(w, "retention (curve crosses 6T line): nominal %.2f µs (paper ~5.8), weak %.2f µs (paper ~4), strong %.2f µs\n",
+		r.NominalRetUS, r.WeakRetUS, r.StrongRetUS)
+}

@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"tdcache/internal/montecarlo"
+	"tdcache/internal/stats"
+	"tdcache/internal/variation"
+)
+
+// Fig6aResult reproduces Figure 6a: the distribution of normalized
+// frequency (= performance, since the whole pipeline stretches with the
+// L1 critical path) for 1X and 2X 6T caches under typical variation.
+type Fig6aResult struct {
+	// Bins are the normalized-frequency bin centers (paper: 0.775..1.05
+	// in 0.025 steps).
+	Bins []float64
+	// Prob1X and Prob2X are the chip-probability histograms.
+	Prob1X, Prob2X []float64
+	// Median1X and Median2X summarize the distributions.
+	Median1X, Median2X float64
+}
+
+// Fig6a runs the typical-variation Monte-Carlo frequency study.
+func Fig6a(p *Params) *Fig6aResult {
+	s := p.study(variation.Typical, p.DistChips)
+	f1 := s.Column(func(c *montecarlo.Chip) float64 { return c.Freq1X })
+	f2 := s.Column(func(c *montecarlo.Chip) float64 { return c.Freq2X })
+	h1 := stats.NewHistogram(0.7625, 1.0625, 12)
+	h2 := stats.NewHistogram(0.7625, 1.0625, 12)
+	for i := range f1 {
+		h1.Add(f1[i])
+		h2.Add(f2[i])
+	}
+	r := &Fig6aResult{
+		Prob1X:   h1.Fractions(),
+		Prob2X:   h2.Fractions(),
+		Median1X: stats.Quantile(f1, 0.5),
+		Median2X: stats.Quantile(f2, 0.5),
+	}
+	for i := range h1.Counts {
+		r.Bins = append(r.Bins, h1.BinCenter(i))
+	}
+	return r
+}
+
+// Print emits the Fig. 6a histogram.
+func (r *Fig6aResult) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 6a — 6T cache normalized frequency/performance distribution (typical variation)")
+	fmt.Fprintf(w, "%-12s", "freq bin")
+	for _, b := range r.Bins {
+		fmt.Fprintf(w, "%7.3f", b)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-12s", "1X 6T")
+	for _, v := range r.Prob1X {
+		fmt.Fprintf(w, "%6.1f%%", 100*v)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-12s", "2X 6T")
+	for _, v := range r.Prob2X {
+		fmt.Fprintf(w, "%6.1f%%", 100*v)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "median: 1X %.3f (paper: most chips lose 10-20%%), 2X %.3f (paper: ~0.97+)\n",
+		r.Median1X, r.Median2X)
+}
+
+// Fig7Result reproduces Figure 7: cache leakage-power distributions
+// (normalized to the golden 6T design) for the 1X 6T and 3T1D caches.
+type Fig7Result struct {
+	// BinLabels are the paper's leakage multipliers.
+	BinLabels []float64
+	// Prob6T and Prob3T1D are the chip-probability histograms.
+	Prob6T, Prob3T1D []float64
+	// Over1p5x6T is the fraction of 6T chips above 1.5× golden leakage.
+	Over1p5x6T float64
+	// OverGolden3T1D is the fraction of 3T1D chips above golden leakage.
+	OverGolden3T1D float64
+	// Max6T and Max3T1D are the worst chips.
+	Max6T, Max3T1D float64
+}
+
+// fig7Bins are the paper's x-axis labels (upper edge of each bucket).
+var fig7Bins = []float64{0.25, 0.5, 1, 1.5, 2, 3, 4, 6, 8, 10, 12}
+
+// Fig7 runs the typical-variation leakage study.
+func Fig7(p *Params) *Fig7Result {
+	s := p.study(variation.Typical, p.DistChips)
+	l6 := s.Column(func(c *montecarlo.Chip) float64 { return c.Leak6T1X })
+	l3 := s.Column(func(c *montecarlo.Chip) float64 { return c.Leak3T1D })
+	r := &Fig7Result{
+		BinLabels: fig7Bins,
+		Prob6T:    bucketize(l6, fig7Bins),
+		Prob3T1D:  bucketize(l3, fig7Bins),
+	}
+	for _, v := range l6 {
+		if v > 1.5 {
+			r.Over1p5x6T++
+		}
+		if v > r.Max6T {
+			r.Max6T = v
+		}
+	}
+	for _, v := range l3 {
+		if v > 1 {
+			r.OverGolden3T1D++
+		}
+		if v > r.Max3T1D {
+			r.Max3T1D = v
+		}
+	}
+	r.Over1p5x6T /= float64(len(l6))
+	r.OverGolden3T1D /= float64(len(l3))
+	return r
+}
+
+// bucketize assigns each value to the first bucket whose upper edge
+// contains it (values beyond the last edge land in the last bucket) and
+// returns fractions.
+func bucketize(xs []float64, edges []float64) []float64 {
+	out := make([]float64, len(edges))
+	for _, x := range xs {
+		idx := len(edges) - 1
+		for i, e := range edges {
+			if x <= e {
+				idx = i
+				break
+			}
+		}
+		out[idx]++
+	}
+	for i := range out {
+		out[i] /= float64(len(xs))
+	}
+	return out
+}
+
+// Print emits the Fig. 7 histograms.
+func (r *Fig7Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 7 — cache leakage power distribution vs. golden 6T (typical variation)")
+	fmt.Fprintf(w, "%-12s", "leakage ≤")
+	for _, b := range r.BinLabels {
+		fmt.Fprintf(w, "%7.2fX", b)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-12s", "1X 6T")
+	for _, v := range r.Prob6T {
+		fmt.Fprintf(w, "%7.1f%%", 100*v)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-12s", "3T1D")
+	for _, v := range r.Prob3T1D {
+		fmt.Fprintf(w, "%7.1f%%", 100*v)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "6T chips above 1.5X golden: %.0f%% (paper: >50%%); worst 6T chip: %.1fX\n",
+		100*r.Over1p5x6T, r.Max6T)
+	fmt.Fprintf(w, "3T1D chips above golden 6T: %.0f%% (paper: ~11%%); worst 3T1D chip: %.1fX (paper: never exceeds 4X)\n",
+		100*r.OverGolden3T1D, r.Max3T1D)
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"tdcache/internal/core"
+	"tdcache/internal/variation"
+)
+
+// Fig9Result reproduces Figure 9: normalized performance of the eight
+// retention-scheme combinations (§4.3.3's evaluation matrix) on the
+// good, median, and bad severe-variation chips.
+type Fig9Result struct {
+	Schemes []core.Scheme
+	// Perf[chip][scheme] with chip order good, median, bad.
+	Perf [3][]float64
+}
+
+// Fig9 runs the full scheme matrix.
+func Fig9(p *Params) *Fig9Result {
+	s := p.study(variation.Severe, p.Chips)
+	g, m, b := s.GoodMedianBad()
+	chips := []int{g, m, b}
+	r := &Fig9Result{Schemes: core.Fig9Schemes}
+	for ci, idx := range chips {
+		ret := s.Chips[idx].Retention
+		step := s.Chips[idx].CounterStep
+		for _, scheme := range core.Fig9Schemes {
+			_, norm := p.suite(cacheSpec{Scheme: scheme, Retention: ret, Step: step})
+			r.Perf[ci] = append(r.Perf[ci], norm)
+		}
+	}
+	return r
+}
+
+// Best returns the scheme with the highest bad-chip performance.
+func (r *Fig9Result) Best() core.Scheme {
+	best, bestV := 0, -1.0
+	for i, v := range r.Perf[2] {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return r.Schemes[best]
+}
+
+// Print emits the Fig. 9 bars.
+func (r *Fig9Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 9 — normalized performance of retention schemes (severe variation)")
+	fmt.Fprintf(w, "%-24s %8s %8s %8s\n", "scheme", "good", "median", "bad")
+	for i, s := range r.Schemes {
+		fmt.Fprintf(w, "%-24s %8.3f %8.3f %8.3f\n", s, r.Perf[0][i], r.Perf[1][i], r.Perf[2][i])
+	}
+	fmt.Fprintf(w, "best scheme for the bad chip: %s (paper: RSP schemes win; LRU-only suffers on dead lines)\n", r.Best())
+}

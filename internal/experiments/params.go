@@ -1,0 +1,239 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each experiment is a function from Params to a typed
+// result with a Print method that emits the same rows/series the paper
+// reports; the registry in registry.go maps experiment IDs (fig1, fig6b,
+// tab3, ...) to runners for the CLI and the benchmark harness.
+//
+// Absolute numbers differ from the paper (the substrate is a synthetic
+// simulator, not the authors' Hspice + sim-alpha testbed); the
+// reproduction targets are the shapes: who wins, by roughly what factor,
+// and where the crossovers fall. EXPERIMENTS.md records paper-vs-
+// measured for every artifact.
+package experiments
+
+import (
+	"sync"
+
+	"tdcache/internal/circuit"
+	"tdcache/internal/core"
+	"tdcache/internal/cpu"
+	"tdcache/internal/montecarlo"
+	"tdcache/internal/power"
+	"tdcache/internal/stats"
+	"tdcache/internal/variation"
+	"tdcache/internal/workload"
+)
+
+// Params scales every experiment. DefaultParams gives the full-size
+// configuration used by cmd/tdcache-experiments; the benchmark harness
+// shrinks Chips and Instructions to keep `go test -bench` tractable.
+type Params struct {
+	// Tech is the primary technology node (Table 3 sweeps all three).
+	Tech circuit.Tech
+	// Seed roots all randomness.
+	Seed uint64
+	// Chips is the Monte-Carlo population for architecture studies
+	// (Fig. 8/9/10/11).
+	Chips int
+	// DistChips is the (cheaper) population for distribution-only
+	// studies (Fig. 6a, Fig. 7, retention histograms).
+	DistChips int
+	// Instructions is the per-benchmark simulation length.
+	Instructions uint64
+	// Benchmarks selects the workloads (defaults to all eight).
+	Benchmarks []string
+
+	mu        sync.Mutex
+	baselines map[baselineKey]runResult
+	studies   map[studyKey]*montecarlo.Study
+}
+
+type baselineKey struct {
+	tech  string
+	vdd   float64
+	bench string
+	sets  int
+	ways  int
+}
+
+type studyKey struct {
+	tech     string
+	vdd      float64
+	scenario string
+	chips    int
+}
+
+// DefaultParams returns the full-size experiment configuration.
+func DefaultParams() *Params {
+	return &Params{
+		Tech:         circuit.Node32,
+		Seed:         20070612, // MICRO 2007 submission-era seed
+		Chips:        100,
+		DistChips:    300,
+		Instructions: 200_000,
+		Benchmarks:   workload.Names(),
+	}
+}
+
+// QuickParams returns a reduced configuration for benchmarks and smoke
+// tests: fewer chips, shorter runs, a representative benchmark subset.
+func QuickParams() *Params {
+	p := DefaultParams()
+	p.Chips = 10
+	p.DistChips = 40
+	p.Instructions = 40_000
+	p.Benchmarks = []string{"gzip", "mcf", "fma3d", "crafty"}
+	return p
+}
+
+// runResult is one (cache scheme, benchmark) simulation outcome.
+type runResult struct {
+	IPC     float64
+	Metrics cpu.Metrics
+	Cache   core.Counters
+	L2Acc   uint64
+	Dyn     power.Breakdown
+}
+
+// cacheSpec fully describes the L1 to simulate.
+type cacheSpec struct {
+	Scheme    core.Scheme
+	Retention core.RetentionMap
+	Sets      int   // 0 = default 256
+	Ways      int   // 0 = default 4
+	Step      int64 // counter step N; 0 = default
+}
+
+// runOne simulates one benchmark against one cache specification.
+func (p *Params) runOne(spec cacheSpec, bench string, seed uint64) runResult {
+	prof, ok := workload.ByName(bench)
+	if !ok {
+		panic("experiments: unknown benchmark " + bench)
+	}
+	cfg := core.DefaultConfig(spec.Scheme)
+	if spec.Sets != 0 {
+		cfg.Sets = spec.Sets
+	}
+	if spec.Ways != 0 {
+		cfg.Ways = spec.Ways
+	}
+	if spec.Step != 0 {
+		cfg.CounterStep = int(spec.Step)
+	}
+	ret := spec.Retention
+	if len(ret) != cfg.Lines() {
+		// Re-shape a physical 1024-line map onto a different
+		// organization (Fig. 11's associativity sweep).
+		ret = reshapeRetention(spec.Retention, cfg.Lines())
+	}
+	cache, err := core.New(cfg, ret)
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	sys := cpu.NewSystem(cpu.DefaultConfig(), cache, cpu.NewL2(cpu.DefaultL2()), workload.NewGenerator(prof, seed))
+	m := sys.Run(p.Instructions)
+	// L2 traffic: demand reads and writes plus the L1's dirty-eviction
+	// write-backs (drained through the write buffer).
+	l2 := sys.L2.Accesses + sys.L2.Writes + cache.C.Writebacks + cache.C.WriteThroughs
+	return runResult{
+		IPC:     m.IPC,
+		Metrics: m,
+		Cache:   cache.C,
+		L2Acc:   l2,
+		Dyn:     power.Dynamic(p.Tech, &cache.C, l2, m.Cycles, spec.Scheme),
+	}
+}
+
+// reshapeRetention maps a retention map onto a different line count by
+// tiling (larger) or striding (smaller); the per-line statistics are
+// preserved, which is what the associativity sweep needs.
+func reshapeRetention(src core.RetentionMap, lines int) core.RetentionMap {
+	out := make(core.RetentionMap, lines)
+	for i := range out {
+		out[i] = src[i%len(src)]
+	}
+	return out
+}
+
+// baseline returns (cached) the ideal-6T result for a benchmark.
+func (p *Params) baseline(bench string, sets, ways int) runResult {
+	key := baselineKey{p.Tech.Name, p.Tech.Vdd, bench, sets, ways}
+	p.mu.Lock()
+	if p.baselines == nil {
+		p.baselines = make(map[baselineKey]runResult)
+	}
+	if r, ok := p.baselines[key]; ok {
+		p.mu.Unlock()
+		return r
+	}
+	p.mu.Unlock()
+	lines := 1024
+	if sets != 0 && ways != 0 {
+		lines = sets * ways
+	}
+	r := p.runOne(cacheSpec{
+		Scheme:    core.NoRefreshLRU,
+		Retention: core.IdealRetention(lines),
+		Sets:      sets,
+		Ways:      ways,
+	}, bench, p.Seed)
+	p.mu.Lock()
+	p.baselines[key] = r
+	p.mu.Unlock()
+	return r
+}
+
+// study returns (cached) a Monte-Carlo chip study.
+func (p *Params) study(sc variation.Scenario, chips int) *montecarlo.Study {
+	key := studyKey{p.Tech.Name, p.Tech.Vdd, sc.Name, chips}
+	p.mu.Lock()
+	if p.studies == nil {
+		p.studies = make(map[studyKey]*montecarlo.Study)
+	}
+	if s, ok := p.studies[key]; ok {
+		p.mu.Unlock()
+		return s
+	}
+	p.mu.Unlock()
+	s := montecarlo.New(montecarlo.Options{
+		Tech: p.Tech, Scenario: sc, Seed: p.Seed ^ 0xc41b, Chips: chips,
+	})
+	p.mu.Lock()
+	p.studies[key] = s
+	p.mu.Unlock()
+	return s
+}
+
+// suite runs every selected benchmark against a cache spec and returns
+// the per-benchmark results plus the performance normalized to the
+// ideal-6T baseline: HM(IPC_scheme) / HM(IPC_ideal).
+func (p *Params) suite(spec cacheSpec) (perBench map[string]runResult, normPerf float64) {
+	perBench = make(map[string]runResult, len(p.Benchmarks))
+	schemeIPC := make([]float64, 0, len(p.Benchmarks))
+	idealIPC := make([]float64, 0, len(p.Benchmarks))
+	for _, b := range p.Benchmarks {
+		r := p.runOne(spec, b, p.Seed)
+		perBench[b] = r
+		schemeIPC = append(schemeIPC, r.IPC)
+		idealIPC = append(idealIPC, p.baseline(b, spec.Sets, spec.Ways).IPC)
+	}
+	normPerf = stats.HarmonicMean(schemeIPC) / stats.HarmonicMean(idealIPC)
+	return perBench, normPerf
+}
+
+// suiteDyn aggregates a suite's dynamic power normalized to the ideal
+// baseline (mean of per-benchmark breakdowns).
+func (p *Params) suiteDyn(perBench map[string]runResult) (norm, refresh, total float64) {
+	var n, r, tot, base float64
+	for b, res := range perBench {
+		bl := p.baseline(b, 0, 0)
+		n += res.Dyn.NormalW
+		r += res.Dyn.RefreshW
+		tot += res.Dyn.TotalW()
+		base += bl.Dyn.TotalW()
+	}
+	if base == 0 {
+		return 0, 0, 0
+	}
+	return n / base, r / base, tot / base
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Runner executes one experiment and prints its paper-shaped output.
+type Runner func(p *Params, w io.Writer)
+
+// Registry maps experiment IDs to runners. IDs follow the paper's
+// artifact numbering (fig1, fig4, fig6a, fig6b, fig7, fig8, fig9, fig10,
+// fig11, fig12, tab1, tab2, tab3, sec4.1).
+var Registry = map[string]Runner{
+	"fig1":     func(p *Params, w io.Writer) { Fig1(p).Print(w) },
+	"fig4":     func(p *Params, w io.Writer) { Fig4(p).Print(w) },
+	"fig6a":    func(p *Params, w io.Writer) { Fig6a(p).Print(w) },
+	"fig6b":    func(p *Params, w io.Writer) { Fig6b(p).Print(w) },
+	"fig7":     func(p *Params, w io.Writer) { Fig7(p).Print(w) },
+	"fig8":     func(p *Params, w io.Writer) { Fig8(p).Print(w) },
+	"fig9":     func(p *Params, w io.Writer) { Fig9(p).Print(w) },
+	"fig10":    func(p *Params, w io.Writer) { Fig10(p).Print(w) },
+	"fig11":    func(p *Params, w io.Writer) { Fig11(p).Print(w) },
+	"fig12":    func(p *Params, w io.Writer) { Fig12(p).Print(w) },
+	"tab1":     func(p *Params, w io.Writer) { Table1(w) },
+	"tab2":     func(p *Params, w io.Writer) { Table2(w) },
+	"tab3":     func(p *Params, w io.Writer) { Table3(p).Print(w) },
+	"sec4.1":   func(p *Params, w io.Writer) { GlobalRefreshNoVariation(p).Print(w) },
+	"fig12pts": func(p *Params, w io.Writer) { Fig12PointsRun(p).Print(w) },
+	"yield":    func(p *Params, w io.Writer) { Yield(p).Print(w) },
+}
+
+// Names returns the registered experiment IDs in stable order.
+func Names() []string {
+	out := make([]string, 0, len(Registry))
+	for k := range Registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by ID, or all of them for "all".
+func Run(id string, p *Params, w io.Writer) error {
+	if id == "all" {
+		for _, name := range Names() {
+			fmt.Fprintf(w, "===== %s =====\n", name)
+			Registry[name](p, w)
+			fmt.Fprintln(w)
+		}
+		return nil
+	}
+	r, ok := Registry[id]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, Names())
+	}
+	r(p, w)
+	return nil
+}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"tdcache/internal/circuit"
+	"tdcache/internal/core"
+	"tdcache/internal/montecarlo"
+	"tdcache/internal/power"
+	"tdcache/internal/stats"
+	"tdcache/internal/variation"
+)
+
+// Table3Row is one technology node's worth of Table 3.
+type Table3Row struct {
+	Node string
+	// Ideal 6T design (no variation).
+	IdealAccessPS  float64
+	IdealBIPS      float64
+	IdealMeanDynMW float64
+	IdealFullDynMW float64
+	IdealLeakMW    float64
+	// 1X 6T, median chip under typical variation.
+	SRAMAccessPS  float64
+	SRAMBIPS      float64
+	SRAMMeanDynMW float64
+	SRAMFullDynMW float64
+	SRAMLeakMW    float64
+	// 3T1D, median chip under typical variation.
+	TDRetentionNS float64
+	TDBIPS        float64
+	TDMeanDynMW   float64
+	TDFullDynMW   float64
+	TDLeakMW      float64
+}
+
+// Table3Result reproduces Table 3 across the three technology nodes.
+type Table3Result struct {
+	Rows []Table3Row
+	// Paper anchors for the printout.
+	PowerSavingFrac float64 // 3T1D total cache power saving vs ideal at 32nm
+}
+
+// Table3 runs the per-node simulations. Per node it needs: the ideal
+// baseline suite, a typical-variation Monte-Carlo study (for median-chip
+// frequency, leakage, and retention), and a global-refresh suite at the
+// median retention.
+func Table3(p *Params) *Table3Result {
+	res := &Table3Result{}
+	savedTech := p.Tech
+	defer func() { p.Tech = savedTech }()
+
+	for _, tech := range circuit.Nodes {
+		p.Tech = tech
+		row := Table3Row{Node: tech.Name}
+
+		// Ideal 6T.
+		idealIPC := make([]float64, 0, len(p.Benchmarks))
+		var meanDyn float64
+		for _, b := range p.Benchmarks {
+			r := p.baseline(b, 0, 0)
+			idealIPC = append(idealIPC, r.IPC)
+			meanDyn += r.Dyn.TotalW()
+		}
+		meanDyn /= float64(len(p.Benchmarks))
+		hm := stats.HarmonicMean(idealIPC)
+		row.IdealAccessPS = tech.AccessTime6T * 1e12
+		row.IdealBIPS = hm * tech.FreqGHz
+		row.IdealMeanDynMW = meanDyn * 1e3
+		row.IdealFullDynMW = power.FullDynamicPower(tech) * 1e3
+		row.IdealLeakMW = tech.LeakagePower6T * 1e3
+
+		// Median typical-variation chip.
+		study := p.study(variation.Typical, p.DistChips)
+		_, median, _ := study.GoodMedianBad()
+		chip := &study.Chips[median]
+
+		// 1X 6T: the whole chip slows to the worst cell's frequency;
+		// IPC is unchanged, so BIPS and dynamic power scale with f.
+		f1 := stats.Quantile(study.Column(func(c *montecarlo.Chip) float64 { return c.Freq1X }), 0.5)
+		row.SRAMAccessPS = tech.AccessTime6T / f1 * 1e12
+		row.SRAMBIPS = row.IdealBIPS * f1
+		row.SRAMMeanDynMW = row.IdealMeanDynMW * f1
+		row.SRAMFullDynMW = row.IdealFullDynMW * f1
+		leak6 := stats.Quantile(study.Column(func(c *montecarlo.Chip) float64 { return c.Leak6T1X }), 0.5)
+		row.SRAMLeakMW = power.Leakage6T(tech, leak6) * 1e3
+
+		// 3T1D: global refresh at the median chip's cache retention.
+		row.TDRetentionNS = chip.CacheRetentionNS
+		retCycles := int64(chip.CacheRetentionNS * 1e-9 / tech.CycleSeconds())
+		if retCycles < 1 {
+			retCycles = 1
+		}
+		spec := cacheSpec{
+			Scheme:    core.Scheme{Refresh: core.RefreshGlobal, Placement: core.PlaceLRU},
+			Retention: core.UniformRetention(1024, retCycles),
+		}
+		perBench, norm := p.suite(spec)
+		row.TDBIPS = row.IdealBIPS * norm
+		var tdDyn float64
+		for _, r := range perBench {
+			tdDyn += r.Dyn.TotalW()
+		}
+		tdDyn /= float64(len(perBench))
+		row.TDMeanDynMW = tdDyn * 1e3
+		row.TDFullDynMW = row.IdealFullDynMW // same array, same full-rate energy
+		leak3 := stats.Quantile(study.Column(func(c *montecarlo.Chip) float64 { return c.Leak3T1D }), 0.5)
+		row.TDLeakMW = power.Leakage3T1D(tech, leak3) * 1e3
+
+		res.Rows = append(res.Rows, row)
+		if tech.NodeNM == 32 {
+			idealTotal := row.IdealMeanDynMW + row.IdealLeakMW
+			tdTotal := row.TDMeanDynMW + row.TDLeakMW
+			if idealTotal > 0 {
+				res.PowerSavingFrac = 1 - tdTotal/idealTotal
+			}
+		}
+	}
+	return res
+}
+
+// Print emits the Table 3 rows.
+func (r *Table3Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Table 3 — cache designs across technology nodes (median typical-variation chips)")
+	fmt.Fprintf(w, "%-6s | %8s %6s %8s %8s %8s | %8s %6s %8s %8s %8s | %9s %6s %8s %8s %8s\n",
+		"node",
+		"access", "BIPS", "meanDyn", "fullDyn", "leak",
+		"access", "BIPS", "meanDyn", "fullDyn", "leak",
+		"retention", "BIPS", "meanDyn", "fullDyn", "leak")
+	fmt.Fprintf(w, "%-6s | %39s | %39s | %42s\n", "", "ideal 6T (no variation)", "1X 6T (median chip)", "3T1D (median chip)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-6s | %6.0fps %6.2f %6.2fmW %6.2fmW %6.1fmW | %6.0fps %6.2f %6.2fmW %6.2fmW %6.1fmW | %7.0fns %6.2f %6.2fmW %6.2fmW %6.1fmW\n",
+			row.Node,
+			row.IdealAccessPS, row.IdealBIPS, row.IdealMeanDynMW, row.IdealFullDynMW, row.IdealLeakMW,
+			row.SRAMAccessPS, row.SRAMBIPS, row.SRAMMeanDynMW, row.SRAMFullDynMW, row.SRAMLeakMW,
+			row.TDRetentionNS, row.TDBIPS, row.TDMeanDynMW, row.TDFullDynMW, row.TDLeakMW)
+	}
+	fmt.Fprintf(w, "3T1D total cache power saving vs. ideal 6T at 32nm: %.0f%% (paper: ~64%%)\n", 100*r.PowerSavingFrac)
+}

@@ -1,0 +1,185 @@
+// Package montecarlo samples populations of fabricated chips and
+// evaluates, once per chip, every circuit-level figure the experiments
+// need: the per-line retention map (quantized to the line counters), the
+// whole-cache retention, 6T frequency factors for both cell sizes,
+// leakage factors, and stability. Results are cached in the Study so the
+// many architecture simulations that follow reuse them.
+package montecarlo
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"tdcache/internal/circuit"
+	"tdcache/internal/core"
+	"tdcache/internal/stats"
+	"tdcache/internal/variation"
+)
+
+// Chip is one sampled die with every derived circuit figure.
+type Chip struct {
+	// Index within the population.
+	Index int
+	// RetentionSec is the per-line retention in seconds (exact).
+	RetentionSec []float64
+	// Retention is the per-line counter map (cycles, quantized with the
+	// chip's CounterStep).
+	Retention core.RetentionMap
+	// CounterStep is the per-chip counter step N chosen at test time
+	// (§4.3.1: N scales with the chip's retention range).
+	CounterStep int64
+	// CacheRetentionNS is the whole-cache (minimum-line) retention in
+	// nanoseconds — the global scheme's operating point.
+	CacheRetentionNS float64
+	// DeadFrac is the fraction of lines with zero quantized retention.
+	DeadFrac float64
+	// MeanAliveNS is the mean retention over live lines (ns).
+	MeanAliveNS float64
+	// Freq1X and Freq2X are the normalized 6T frequencies (≤1).
+	Freq1X, Freq2X float64
+	// Leak6T1X and Leak3T1D are leakage factors versus the golden 6T.
+	Leak6T1X, Leak3T1D float64
+	// Unstable1X is the 6T 1X bit-flip probability per cell.
+	Unstable1X float64
+}
+
+// Study is a population of evaluated chips for one (technology,
+// scenario) pair.
+type Study struct {
+	Tech     circuit.Tech
+	Scenario variation.Scenario
+	Seed     uint64
+	// CounterStep and CounterBits are the retention-counter parameters
+	// used for quantization.
+	CounterStep int64
+	CounterBits int
+	Chips       []Chip
+}
+
+// Options configures a Study.
+type Options struct {
+	Tech     circuit.Tech
+	Scenario variation.Scenario
+	Seed     uint64
+	Chips    int
+	// CounterStep forces a fixed counter step for every chip; 0 (the
+	// default) selects each chip's step adaptively at test time.
+	CounterStep int64
+	CounterBits int // defaults to core.DefaultConfig's
+}
+
+// New samples and evaluates a chip population. Evaluation parallelizes
+// across chips; the result is deterministic for a given seed regardless
+// of parallelism.
+func New(o Options) *Study {
+	if o.CounterBits == 0 {
+		o.CounterBits = core.DefaultConfig(core.NoRefreshLRU).CounterBits
+	}
+	s := &Study{
+		Tech:        o.Tech,
+		Scenario:    o.Scenario,
+		Seed:        o.Seed,
+		CounterStep: o.CounterStep,
+		CounterBits: o.CounterBits,
+		Chips:       make([]Chip, o.Chips),
+	}
+	chips := variation.Population(o.Seed, o.Chips, o.Scenario, circuit.L1D.TileCols, circuit.L1D.TileRows)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, ch := range chips {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, ch *variation.Chip) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			s.Chips[i] = evaluate(s, i, ch)
+		}(i, ch)
+	}
+	wg.Wait()
+	return s
+}
+
+func evaluate(s *Study, idx int, ch *variation.Chip) Chip {
+	e := circuit.NewChipEval(s.Tech, circuit.L1D, ch)
+	sec := e.RetentionMap()
+	step := s.CounterStep
+	if step == 0 {
+		step = core.ChooseCounterStep(sec, s.Tech.CycleSeconds(), s.CounterBits)
+	}
+	q := core.QuantizeRetention(sec, s.Tech.CycleSeconds(), step, s.CounterBits)
+	min := sec[0]
+	for _, r := range sec {
+		if r < min {
+			min = r
+		}
+	}
+	return Chip{
+		Index:            idx,
+		RetentionSec:     sec,
+		Retention:        q,
+		CounterStep:      step,
+		CacheRetentionNS: min * 1e9,
+		DeadFrac:         q.DeadFraction(),
+		MeanAliveNS:      q.MeanAlive() * s.Tech.CycleSeconds() * 1e9,
+		Freq1X:           e.SRAMFrequencyFactor(circuit.SRAM1X),
+		Freq2X:           e.SRAMFrequencyFactor(circuit.SRAM2X),
+		Leak6T1X:         e.SRAMLeakageFactor(circuit.SRAM1X),
+		Leak3T1D:         e.Leakage3T1DFactor(),
+		Unstable1X:       e.SRAMUnstableFraction(circuit.SRAM1X),
+	}
+}
+
+// quality ranks a chip for good/median/bad selection: higher is better.
+// Chips are ranked by mean live retention penalized by dead lines, the
+// §4.3 notion of "process corners that result in longest retention".
+func (c *Chip) quality() float64 {
+	return c.MeanAliveNS * (1 - c.DeadFrac)
+}
+
+// GoodMedianBad returns the indices of the best, median, and worst chips
+// by retention quality (§4.3's three analysis chips).
+func (s *Study) GoodMedianBad() (good, median, bad int) {
+	order := make([]int, len(s.Chips))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return s.Chips[order[a]].quality() > s.Chips[order[b]].quality()
+	})
+	return order[0], order[len(order)/2], order[len(order)-1]
+}
+
+// DiscardRate returns the fraction of chips unusable under the global
+// scheme: at least one line cannot survive a refresh pass (§4.3 reports
+// ~80% under severe variation).
+func (s *Study) DiscardRate() float64 {
+	if len(s.Chips) == 0 {
+		return 0
+	}
+	// A chip is discarded when its worst line's retention does not clear
+	// the global pass length.
+	passLen := int64(core.DefaultConfig(core.NoRefreshLRU).Lines()/4) *
+		int64(core.DefaultConfig(core.NoRefreshLRU).RefreshCycles)
+	n := 0
+	for i := range s.Chips {
+		if s.Chips[i].Retention.Min() <= passLen {
+			n++
+		}
+	}
+	return float64(n) / float64(len(s.Chips))
+}
+
+// Column extracts one per-chip metric as a slice (ordered by index).
+func (s *Study) Column(f func(*Chip) float64) []float64 {
+	out := make([]float64, len(s.Chips))
+	for i := range s.Chips {
+		out[i] = f(&s.Chips[i])
+	}
+	return out
+}
+
+// Summary describes one metric across the population.
+func (s *Study) Summary(f func(*Chip) float64) stats.Summary {
+	return stats.Describe(s.Column(f))
+}

@@ -1,0 +1,124 @@
+package montecarlo
+
+import (
+	"testing"
+
+	"tdcache/internal/circuit"
+	"tdcache/internal/variation"
+)
+
+func smallStudy(t *testing.T, sc variation.Scenario, n int) *Study {
+	t.Helper()
+	return New(Options{Tech: circuit.Node32, Scenario: sc, Seed: 99, Chips: n})
+}
+
+func TestStudyShape(t *testing.T) {
+	s := smallStudy(t, variation.Typical, 6)
+	if len(s.Chips) != 6 {
+		t.Fatalf("chips = %d", len(s.Chips))
+	}
+	for i, c := range s.Chips {
+		if c.Index != i {
+			t.Errorf("chip %d has index %d", i, c.Index)
+		}
+		if len(c.Retention) != circuit.L1D.Lines || len(c.RetentionSec) != circuit.L1D.Lines {
+			t.Errorf("chip %d retention map sized %d/%d", i, len(c.Retention), len(c.RetentionSec))
+		}
+		if c.Freq1X <= 0 || c.Freq1X > 1 || c.Freq2X < c.Freq1X-0.01 {
+			t.Errorf("chip %d frequencies: %v / %v", i, c.Freq1X, c.Freq2X)
+		}
+		if c.Leak6T1X <= 0 || c.Leak3T1D <= 0 {
+			t.Errorf("chip %d leakage: %v / %v", i, c.Leak6T1X, c.Leak3T1D)
+		}
+	}
+}
+
+func TestStudyDeterministicAcrossParallelism(t *testing.T) {
+	a := smallStudy(t, variation.Severe, 5)
+	b := smallStudy(t, variation.Severe, 5)
+	for i := range a.Chips {
+		if a.Chips[i].CacheRetentionNS != b.Chips[i].CacheRetentionNS {
+			t.Fatalf("chip %d retention differs across runs", i)
+		}
+		if a.Chips[i].Leak6T1X != b.Chips[i].Leak6T1X {
+			t.Fatalf("chip %d leakage differs across runs", i)
+		}
+	}
+}
+
+func TestQuantizationConsistency(t *testing.T) {
+	s := smallStudy(t, variation.Typical, 3)
+	for _, c := range s.Chips {
+		for l, q := range c.Retention {
+			cycles := int64(c.RetentionSec[l] / circuit.Node32.CycleSeconds())
+			if q > cycles {
+				t.Fatalf("counter value %d exceeds true retention %d (must be conservative)", q, cycles)
+			}
+		}
+	}
+}
+
+func TestGoodMedianBadOrdering(t *testing.T) {
+	s := smallStudy(t, variation.Severe, 9)
+	g, m, b := s.GoodMedianBad()
+	qg := s.Chips[g].quality()
+	qm := s.Chips[m].quality()
+	qb := s.Chips[b].quality()
+	if !(qg >= qm && qm >= qb) {
+		t.Errorf("quality ordering violated: %v %v %v", qg, qm, qb)
+	}
+	if g == b && len(s.Chips) > 1 {
+		t.Error("good and bad chips identical")
+	}
+}
+
+func TestSevereDiscardRateHigh(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo study is expensive")
+	}
+	s := smallStudy(t, variation.Severe, 24)
+	if rate := s.DiscardRate(); rate < 0.5 {
+		t.Errorf("severe discard rate = %v, want >= 0.5 (paper: ~0.8)", rate)
+	}
+	typ := smallStudy(t, variation.Typical, 24)
+	if rate := typ.DiscardRate(); rate > 0.35 {
+		t.Errorf("typical discard rate = %v, want small", rate)
+	}
+}
+
+func TestNoVariationStudyIsIdeal(t *testing.T) {
+	s := New(Options{Tech: circuit.Node32, Scenario: variation.NoVariation, Seed: 1, Chips: 2})
+	for _, c := range s.Chips {
+		if c.DeadFrac != 0 {
+			t.Error("no-variation chip has dead lines")
+		}
+		if c.Freq1X != 1 {
+			t.Errorf("no-variation frequency = %v", c.Freq1X)
+		}
+		// Nominal retention ≈ 5.8µs (24940 cycles): the adaptive counter
+		// step must make it representable within one step of slack.
+		trueCycles := int64(c.RetentionSec[0] / circuit.Node32.CycleSeconds())
+		if c.Retention.Min() > trueCycles {
+			t.Errorf("counter %d exceeds true retention %d", c.Retention.Min(), trueCycles)
+		}
+		if c.Retention.Min() < trueCycles-c.CounterStep {
+			t.Errorf("counter %d more than one step below true retention %d (step %d)",
+				c.Retention.Min(), trueCycles, c.CounterStep)
+		}
+		if c.CounterStep <= 0 {
+			t.Error("no adaptive counter step recorded")
+		}
+	}
+}
+
+func TestColumnAndSummary(t *testing.T) {
+	s := smallStudy(t, variation.Typical, 4)
+	col := s.Column(func(c *Chip) float64 { return c.Freq1X })
+	if len(col) != 4 {
+		t.Fatalf("column length %d", len(col))
+	}
+	sum := s.Summary(func(c *Chip) float64 { return c.Freq1X })
+	if sum.N != 4 || sum.Min > sum.Max {
+		t.Errorf("summary %+v", sum)
+	}
+}

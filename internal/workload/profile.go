@@ -1,0 +1,211 @@
+// Package workload generates the synthetic SPEC2000-like instruction
+// streams that stand in for the paper's benchmark traces (crafty, applu,
+// fma3d, gcc, gzip, mcf, mesa, twolf — the 8-benchmark subset Phansalkar
+// et al. showed to represent the full suite, §3.2).
+//
+// Each profile parameterizes instruction mix, memory footprint and
+// locality structure (Zipf-weighted heap reuse, streaming walks, stack
+// traffic), branch predictability, and dependency distances. The
+// generators are deterministic per seed and produce unbounded streams;
+// the out-of-order core in internal/cpu consumes them directly.
+//
+// The profiles are fitted to the qualitative published characteristics
+// of the benchmarks: mcf is a pointer-chasing memory hog with a very
+// high L1 miss rate, gzip and crafty are cache-friendly, fma3d (the
+// paper's worst-case benchmark for retention sensitivity) streams a
+// large footprint, and so on. The Fig. 1 property — ~90 % of a line's
+// references arrive within 6 K cycles of its fill — emerges from the
+// locality structure and is verified by the experiment harness.
+package workload
+
+// Kind classifies an instruction for the pipeline model.
+type Kind uint8
+
+const (
+	// KInt is a single-cycle integer ALU operation.
+	KInt Kind = iota
+	// KIntLong is a long-latency integer operation (multiply/divide).
+	KIntLong
+	// KFp is a pipelined floating-point operation.
+	KFp
+	// KFpLong is a long-latency floating-point operation (divide/sqrt).
+	KFpLong
+	// KLoad reads memory.
+	KLoad
+	// KStore writes memory.
+	KStore
+	// KBranch is a conditional branch.
+	KBranch
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KInt:
+		return "int"
+	case KIntLong:
+		return "int-long"
+	case KFp:
+		return "fp"
+	case KFpLong:
+		return "fp-long"
+	case KLoad:
+		return "load"
+	case KStore:
+		return "store"
+	case KBranch:
+		return "branch"
+	}
+	return "?"
+}
+
+// IsMem reports whether the instruction accesses the data cache.
+func (k Kind) IsMem() bool { return k == KLoad || k == KStore }
+
+// IsFp reports whether the instruction issues to the FP queue/units.
+func (k Kind) IsFp() bool { return k == KFp || k == KFpLong }
+
+// Instr is one dynamic instruction.
+type Instr struct {
+	Kind Kind
+	// Addr is the effective address for loads and stores.
+	Addr uint64
+	// PC identifies the static branch for the predictor (branches only).
+	PC uint64
+	// FetchPC is the instruction's fetch address, for I-cache modelling:
+	// it advances sequentially and redirects on taken branches.
+	FetchPC uint64
+	// Taken is the branch's actual outcome (branches only).
+	Taken bool
+	// Dep1 and Dep2 are register-dependency distances: this instruction
+	// consumes the results of the instructions Dep1 and Dep2 positions
+	// earlier in the stream (0 = no dependency).
+	Dep1, Dep2 int32
+}
+
+// Profile parameterizes one synthetic benchmark.
+type Profile struct {
+	Name string
+	// Instruction mix (fractions of the dynamic stream; the remainder is
+	// plain integer ALU work).
+	LoadFrac, StoreFrac, BranchFrac, FpFrac float64
+	// LongLatFrac is the share of ALU/FP work with long latency.
+	LongLatFrac float64
+
+	// Memory behaviour. Heap traffic is generational (the premise of the
+	// paper's Fig. 1 and of the cache-decay literature it cites): an
+	// active set of ActiveBlocks lines receives the heap references;
+	// each block serves a geometrically-distributed budget of ~MeanReuse
+	// accesses and then retires, replaced by a fresh block. MeanReuse
+	// therefore sets the L1 miss rate (≈ heapShare/MeanReuse) and
+	// ActiveBlocks·MeanReuse bounds the reuse window (the Fig. 1 CDF).
+	// Fresh blocks recycle retired addresses with probability
+	// RecycleFrac (L2-level reuse) from a FootprintKB-sized region.
+	FootprintKB  int     // heap address region (sets L2 pressure)
+	ActiveBlocks int     // concurrently-live heap blocks
+	MeanReuse    float64 // mean accesses per block before it retires
+	RecycleFrac  float64 // probability a fresh block reuses a retired address
+	StreamFrac   float64 // fraction of memory refs that walk arrays
+	StreamKB     int     // length of each streaming walk
+	StreamArrays int     // arrays in the walk rotation pool
+	StackFrac    float64 // fraction of memory refs to the (tiny) stack
+
+	// Branch behaviour.
+	StaticBranches int     // distinct branch PCs
+	BranchNoise    float64 // per-branch outcome randomness (0 = fully biased)
+
+	// CodeKB is the static code footprint driving the instruction-fetch
+	// stream (and thus I-cache behaviour); 0 defaults to 64 KB.
+	CodeKB int
+
+	// Dependency structure: mean distance of register dependencies
+	// (smaller = tighter dependence chains = less ILP).
+	DepMean float64
+}
+
+// Profiles are the eight SPEC2000 proxies, in the paper's order.
+var Profiles = []Profile{
+	{
+		Name:     "crafty", // chess: branchy integer, cache-friendly
+		LoadFrac: 0.27, StoreFrac: 0.07, BranchFrac: 0.13, FpFrac: 0,
+		LongLatFrac: 0.02,
+		FootprintKB: 512, ActiveBlocks: 12, MeanReuse: 64, RecycleFrac: 0.90, StreamFrac: 0.05, StreamKB: 8, StreamArrays: 1, StackFrac: 0.05,
+		StaticBranches: 512, BranchNoise: 0.04, CodeKB: 256,
+		DepMean: 5,
+	},
+	{
+		Name:     "applu", // FP solver: long regular streams
+		LoadFrac: 0.30, StoreFrac: 0.09, BranchFrac: 0.03, FpFrac: 0.35,
+		LongLatFrac: 0.08,
+		FootprintKB: 1024, ActiveBlocks: 4, MeanReuse: 125, RecycleFrac: 0.90, StreamFrac: 0.45, StreamKB: 24, StreamArrays: 3, StackFrac: 0.05,
+		StaticBranches: 64, BranchNoise: 0.01, CodeKB: 48,
+		DepMean: 8,
+	},
+	{
+		Name:     "fma3d", // FP crash simulation: large irregular footprint
+		LoadFrac: 0.31, StoreFrac: 0.11, BranchFrac: 0.05, FpFrac: 0.30,
+		LongLatFrac: 0.10,
+		FootprintKB: 1536, ActiveBlocks: 16, MeanReuse: 23, RecycleFrac: 0.85, StreamFrac: 0.35, StreamKB: 24, StreamArrays: 3, StackFrac: 0.06,
+		StaticBranches: 256, BranchNoise: 0.03, CodeKB: 128,
+		DepMean: 6,
+	},
+	{
+		Name:     "gcc", // compiler: big code/data, branchy
+		LoadFrac: 0.26, StoreFrac: 0.12, BranchFrac: 0.15, FpFrac: 0,
+		LongLatFrac: 0.02,
+		FootprintKB: 1024, ActiveBlocks: 16, MeanReuse: 36, RecycleFrac: 0.90, StreamFrac: 0.10, StreamKB: 16, StreamArrays: 2, StackFrac: 0.05,
+		StaticBranches: 1024, BranchNoise: 0.04, CodeKB: 512,
+		DepMean: 5,
+	},
+	{
+		Name:     "gzip", // compression: tiny hot window
+		LoadFrac: 0.24, StoreFrac: 0.08, BranchFrac: 0.12, FpFrac: 0,
+		LongLatFrac: 0.01,
+		FootprintKB: 512, ActiveBlocks: 8, MeanReuse: 100, RecycleFrac: 0.92, StreamFrac: 0.15, StreamKB: 8, StreamArrays: 2, StackFrac: 0.05,
+		StaticBranches: 128, BranchNoise: 0.05, CodeKB: 32,
+		DepMean: 6,
+	},
+	{
+		Name:     "mcf", // pointer chasing: memory bound
+		LoadFrac: 0.33, StoreFrac: 0.09, BranchFrac: 0.12, FpFrac: 0,
+		LongLatFrac: 0.02,
+		FootprintKB: 6144, ActiveBlocks: 64, MeanReuse: 3.3, RecycleFrac: 0.70, StreamFrac: 0.03, StreamKB: 8, StreamArrays: 1, StackFrac: 0.05,
+		StaticBranches: 128, BranchNoise: 0.08, CodeKB: 32,
+		DepMean: 3,
+	},
+	{
+		Name:     "mesa", // software rendering: FP, moderate locality
+		LoadFrac: 0.26, StoreFrac: 0.09, BranchFrac: 0.08, FpFrac: 0.25,
+		LongLatFrac: 0.05,
+		FootprintKB: 768, ActiveBlocks: 6, MeanReuse: 150, RecycleFrac: 0.90, StreamFrac: 0.20, StreamKB: 16, StreamArrays: 2, StackFrac: 0.05,
+		StaticBranches: 256, BranchNoise: 0.03, CodeKB: 96,
+		DepMean: 7,
+	},
+	{
+		Name:     "twolf", // place & route: branchy, moderate footprint
+		LoadFrac: 0.25, StoreFrac: 0.07, BranchFrac: 0.14, FpFrac: 0.02,
+		LongLatFrac: 0.03,
+		FootprintKB: 768, ActiveBlocks: 24, MeanReuse: 18, RecycleFrac: 0.90, StreamFrac: 0.05, StreamKB: 8, StreamArrays: 1, StackFrac: 0.05,
+		StaticBranches: 512, BranchNoise: 0.06, CodeKB: 96,
+		DepMean: 4,
+	},
+}
+
+// ByName returns the named profile, or false when unknown.
+func ByName(name string) (Profile, bool) {
+	for _, p := range Profiles {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// Names lists the profile names in order.
+func Names() []string {
+	out := make([]string, len(Profiles))
+	for i, p := range Profiles {
+		out[i] = p.Name
+	}
+	return out
+}
