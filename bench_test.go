@@ -9,6 +9,8 @@ package tdcache
 // scale.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"tdcache/internal/core"
@@ -126,6 +128,31 @@ func BenchmarkGlobalRefreshNoVariation(b *testing.B) {
 		b.ReportMetric(r.NormalizedPerf, "normalized-perf")
 		b.ReportMetric(r.BandwidthFrac, "refresh-bandwidth")
 	}
+}
+
+// BenchmarkSweepFig10 measures the sweep engine itself on the Fig. 10
+// chip × scheme × benchmark fan-out: the sequential lane (-parallel 1)
+// versus the full worker pool. Each iteration uses fresh Params so the
+// baseline/study memos are cold and the whole sweep is really re-run;
+// comparing the two lanes' ns/op gives the wall-clock speedup, and
+// -benchmem shows the allocation drop from per-worker harness reuse.
+func BenchmarkSweepFig10(b *testing.B) {
+	lane := func(parallel int) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p := experiments.QuickParams()
+				p.Chips = 6
+				p.Instructions = 20_000
+				p.Benchmarks = []string{"gzip", "mcf"}
+				p.Parallel = parallel
+				r := experiments.Fig10(p)
+				b.ReportMetric(r.MinPerf[2], "worst-chip-RSPFIFO")
+			}
+		}
+	}
+	b.Run("parallel-1", lane(1))
+	b.Run(fmt.Sprintf("parallel-%d", runtime.GOMAXPROCS(0)), lane(0))
 }
 
 // --- Component micro-benchmarks ---

@@ -12,6 +12,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -28,8 +30,39 @@ func main() {
 		seed         = flag.Uint64("seed", 0, "root random seed")
 		benchmarks   = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all eight)")
 		quick        = flag.Bool("quick", false, "use the reduced smoke-test configuration")
+		parallel     = flag.Int("parallel", 0, "sweep worker-pool width (0 = GOMAXPROCS, 1 = sequential; output is identical)")
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, id := range tdcache.Experiments() {
@@ -57,6 +90,7 @@ func main() {
 	if *benchmarks != "" {
 		p.Benchmarks = strings.Split(*benchmarks, ",")
 	}
+	p.Parallel = *parallel
 
 	start := time.Now()
 	if err := tdcache.RunExperiment(*experiment, p, os.Stdout); err != nil {

@@ -150,26 +150,50 @@ func (w *writeBuffer) push()      { w.occupancy++ }
 // New constructs a cache with the given configuration and per-line
 // retention map (len must equal cfg.Lines()).
 func New(cfg Config, ret RetentionMap) (*Cache, error) {
-	if err := cfg.Validate(); err != nil {
+	c := &Cache{}
+	if err := c.Reset(cfg, ret); err != nil {
 		return nil, err
 	}
-	if len(ret) != cfg.Lines() {
-		return nil, fmt.Errorf("core: retention map has %d lines, config needs %d", len(ret), cfg.Lines())
+	return c, nil
+}
+
+// Reset re-initializes the cache in place for a new configuration and
+// retention map, reusing every allocation whose shape still fits (the
+// line array, the per-set way orders, the retention-event calendar).
+// After Reset the cache is indistinguishable from New(cfg, ret): the
+// sweep engine's workers recycle one cache across thousands of
+// simulation jobs instead of reallocating ~64 KB of model state per
+// job.
+func (c *Cache) Reset(cfg Config, ret RetentionMap) error {
+	if err := cfg.Validate(); err != nil {
+		return err
 	}
-	c := &Cache{
-		cfg:   cfg,
-		ret:   ret,
-		lines: make([]lineState, cfg.Lines()),
-		wb: writeBuffer{
-			capacity:   cfg.WriteBufferEntries,
-			drainEvery: int64(cfg.WriteBufferDrainCycles),
-		},
+	if len(ret) != cfg.Lines() {
+		return fmt.Errorf("core: retention map has %d lines, config needs %d", len(ret), cfg.Lines())
+	}
+	c.cfg = cfg
+	c.ret = ret
+	if len(c.lines) == cfg.Lines() {
+		clear(c.lines)
+	} else {
+		c.lines = make([]lineState, cfg.Lines())
+	}
+	c.wb = writeBuffer{
+		capacity:   cfg.WriteBufferEntries,
+		drainEvery: int64(cfg.WriteBufferDrainCycles),
 	}
 	// Test-time configuration: way ordering and dead-way counts.
-	c.order = make([][]uint8, cfg.Sets)
-	c.deadWays = make([]uint8, cfg.Sets)
+	if len(c.order) != cfg.Sets {
+		c.order = make([][]uint8, cfg.Sets)
+	}
+	if len(c.deadWays) != cfg.Sets {
+		c.deadWays = make([]uint8, cfg.Sets)
+	}
 	for set := 0; set < cfg.Sets; set++ {
-		ways := make([]uint8, cfg.Ways)
+		ways := c.order[set]
+		if len(ways) != cfg.Ways {
+			ways = make([]uint8, cfg.Ways)
+		}
 		for w := range ways {
 			ways[w] = uint8(w)
 		}
@@ -177,15 +201,30 @@ func New(cfg Config, ret RetentionMap) (*Cache, error) {
 			return c.retentionOf(set, int(ways[i])) > c.retentionOf(set, int(ways[j]))
 		})
 		c.order[set] = ways
+		c.deadWays[set] = 0
 		for w := 0; w < cfg.Ways; w++ {
 			if c.retentionOf(set, w) <= 0 {
 				c.deadWays[set]++
 			}
 		}
 	}
+	c.C = Counters{}
+	c.now = 0
+	c.readAvail, c.writeAvail = 0, 0
+	c.opWork, c.opStart, c.opStealing = 0, 0, false
+	c.Dead = false
+	c.passLen, c.period, c.passBudget = 0, 0, 0
+	c.passStart, c.passProgress = 0, 0
+	c.inPass, c.stealing = false, false
+	c.shuffles = c.shuffles[:0]
+	c.OnHitDistance = nil
 	// Retention-event machinery (not used by the global scheme).
 	maxRet := (int64(1)<<uint(cfg.CounterBits) - 1) * int64(cfg.CounterStep)
-	c.rq = newRetireQueue(maxRet + int64(cfg.AssertMargin) + 128)
+	if c.rq == nil {
+		c.rq = newRetireQueue(maxRet + int64(cfg.AssertMargin) + 128)
+	} else {
+		c.rq.reset(maxRet + int64(cfg.AssertMargin) + 128)
+	}
 
 	if cfg.Scheme.Refresh == RefreshGlobal {
 		// §4.1: sub-array pairs refresh in parallel; 8 cycles per line,
@@ -223,7 +262,7 @@ func New(cfg Config, ret RetentionMap) (*Cache, error) {
 			}
 		}
 	}
-	return c, nil
+	return nil
 }
 
 // Config returns the cache's configuration.

@@ -778,3 +778,61 @@ func TestWriteThroughEvictionIsFree(t *testing.T) {
 		t.Error("write-through eviction must not write back")
 	}
 }
+
+// driveScripted runs a deterministic access/fill script against c so two
+// caches fed the same script can be compared state-for-state.
+func driveScripted(c *Cache, ops int) {
+	lcg := uint64(0x2545f491)
+	cfg := c.Config()
+	var pendingFill uint64
+	var havePending bool
+	for now := int64(0); now < int64(ops); now++ {
+		c.Tick(now)
+		if havePending {
+			c.Fill(pendingFill, lcg&1 == 0)
+			havePending = false
+		}
+		lcg = lcg*6364136223846793005 + 1442695040888963407
+		set := int(lcg>>33) % cfg.Sets
+		tag := (lcg >> 48) % 6
+		addr := addrFor(cfg, set, tag)
+		kind := Load
+		if lcg&7 == 0 {
+			kind = Store
+		}
+		r := c.Access(addr, kind)
+		if !r.Hit && !r.PortStall {
+			pendingFill, havePending = addr, true
+		}
+	}
+}
+
+func TestCacheResetMatchesNew(t *testing.T) {
+	// A recycled cache must behave byte-for-byte like a fresh one: same
+	// counters, same dead-line count, after an identical access script.
+	cfg := testConfig(PartialRefreshDSP)
+	ret := UniformRetention(cfg.Lines(), 3000)
+	ret[1] = 0    // dead line: exercises DSP placement and dead bookkeeping
+	ret[3] = 1200 // short line: exercises refresh/expiry scheduling
+	ret[5] = 1500
+
+	fresh := mustCache(t, cfg, ret)
+	driveScripted(fresh, 8000)
+
+	// Dirty a cache under a different config, then recycle it.
+	dirtyCfg := testConfig(RSPFIFO)
+	dirtyCfg.Sets = 8
+	recycled := mustCache(t, dirtyCfg, UniformRetention(dirtyCfg.Lines(), 2000))
+	driveScripted(recycled, 3000)
+	if err := recycled.Reset(cfg, ret); err != nil {
+		t.Fatal(err)
+	}
+	driveScripted(recycled, 8000)
+
+	if fresh.C != recycled.C {
+		t.Fatalf("counters diverged:\nfresh:    %+v\nrecycled: %+v", fresh.C, recycled.C)
+	}
+	if fresh.Dead != recycled.Dead {
+		t.Fatalf("global-dead flags diverged: %v vs %v", fresh.Dead, recycled.Dead)
+	}
+}

@@ -33,16 +33,33 @@ type lineEvent struct {
 // newRetireQueue sizes the calendar for the given horizon (the maximum
 // schedulable delay in cycles).
 func newRetireQueue(horizon int64) *retireQueue {
+	q := &retireQueue{}
+	q.reset(horizon)
+	return q
+}
+
+// reset re-initializes the calendar for a (possibly different) horizon,
+// keeping the bucket array and per-bucket capacity when the required
+// size is unchanged so a recycled cache schedules events without
+// reallocating.
+func (q *retireQueue) reset(horizon int64) {
 	const shift = 6 // 64-cycle buckets
 	n := 1
 	for int64(n)<<shift < horizon+1<<shift {
 		n <<= 1
 	}
-	return &retireQueue{
-		buckets: make([][]lineEvent, n),
-		shift:   shift,
-		mask:    n - 1,
+	if len(q.buckets) == n {
+		for i := range q.buckets {
+			q.buckets[i] = q.buckets[i][:0]
+		}
+	} else {
+		q.buckets = make([][]lineEvent, n)
 	}
+	q.shift = shift
+	q.mask = n - 1
+	q.cursor = 0
+	q.started = false
+	q.pending = q.pending[:0]
 }
 
 // horizon returns the maximum delay the queue can hold.

@@ -130,8 +130,12 @@ type System struct {
 	fetchBlockedBy uint64 // seq of unresolved mispredicted branch (0 = none)
 	fetchResumeAt  int64
 
-	// overflow is the one-deep dispatch retry slot (see pushback).
-	overflow *workload.Instr
+	// overflow is the one-deep dispatch retry slot (see pushback); a
+	// value plus flag rather than a pointer so re-queueing an
+	// instruction never heap-allocates (pushback fires every
+	// structural-stall cycle).
+	overflow    workload.Instr
+	hasOverflow bool
 
 	// icache is the instruction cache (tag array); lastFetchLine avoids
 	// re-probing for sequential fetches within one line.
@@ -161,6 +165,33 @@ func NewSystem(cfg Config, cache *core.Cache, l2 *L2, gen *workload.Generator) *
 		})
 	}
 	return s
+}
+
+// Reset rewires the system to a (freshly reset) cache, L2, and
+// generator and clears all pipeline state in place — ROB, issue queues,
+// MSHRs, store buffer, predictor, I-cache, clocks, and metrics — so a
+// sweep worker recycles one System across simulation jobs. The
+// processor configuration is fixed at construction; a reset system
+// behaves identically to NewSystem(s.Cfg, cache, l2, gen).
+func (s *System) Reset(cache *core.Cache, l2 *L2, gen *workload.Generator) {
+	s.Cache, s.L2, s.Gen = cache, l2, gen
+	s.Pred.Reset()
+	s.M = Metrics{}
+	s.now, s.seq = 0, 0
+	s.robHead, s.robLen = 0, 0
+	s.doneRing = [doneRingSize]int64{}
+	s.intIQ, s.fpIQ, s.loadQ, s.storeQ = 0, 0, 0, 0
+	s.storeBuf = s.storeBuf[:0]
+	for i := range s.mshrs {
+		s.mshrs[i].valid = false
+		s.mshrs[i].loads = s.mshrs[i].loads[:0]
+	}
+	s.fetchBlockedBy, s.fetchResumeAt = 0, 0
+	s.overflow, s.hasOverflow = workload.Instr{}, false
+	s.lastFetchLine = 0
+	if s.icache != nil {
+		s.icache.Reset()
+	}
 }
 
 func (s *System) robAt(i int) *robEntry { return &s.rob[(s.robHead+i)%len(s.rob)] }
@@ -510,17 +541,16 @@ func (s *System) dispatch() {
 // The generator cannot rewind, so the System keeps a one-deep overflow
 // slot consulted before generating new work.
 func (s *System) pushback(in workload.Instr) {
-	s.overflow = &in
+	s.overflow, s.hasOverflow = in, true
 	s.seq-- // the sequence number is reassigned on the retry
 }
 
 // nextInstr returns the overflow instruction if one is pending, else the
 // next generated instruction.
 func (s *System) nextInstr() workload.Instr {
-	if s.overflow != nil {
-		in := *s.overflow
-		s.overflow = nil
-		return in
+	if s.hasOverflow {
+		s.hasOverflow = false
+		return s.overflow
 	}
 	return s.Gen.Next()
 }

@@ -264,3 +264,58 @@ func TestICacheCodeFootprintOrdering(t *testing.T) {
 		t.Errorf("gcc icache miss rate (%.4f) should dwarf gzip (%.4f)", g, z)
 	}
 }
+
+func TestSystemResetMatchesFresh(t *testing.T) {
+	// A fully recycled harness (cache + L2 + generator + system) must
+	// reproduce a fresh harness's metrics exactly; the sweep engine's
+	// per-worker reuse depends on it.
+	p, ok := workload.ByName("mcf")
+	if !ok {
+		t.Fatal("missing mcf profile")
+	}
+	ccfg := core.DefaultConfig(core.PartialRefreshDSP)
+	ret := core.UniformRetention(ccfg.Lines(), 6000)
+	for i := range ret {
+		switch i % 7 {
+		case 0:
+			ret[i] = 0 // dead lines: DSP bypass and replay paths
+		case 3:
+			ret[i] = 2500 // short lines: refresh scheduling
+		}
+	}
+
+	c1, err := core.New(ccfg, ret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := NewSystem(DefaultConfig(), c1, NewL2(DefaultL2()), workload.NewGenerator(p, 11))
+	m1 := s1.Run(40000)
+
+	// Dirty a second harness with a different benchmark and scheme, then
+	// recycle every component in place.
+	gcc, _ := workload.ByName("gcc")
+	dirtyCfg := core.DefaultConfig(core.NoRefreshLRU)
+	c2, err := core.New(dirtyCfg, core.IdealRetention(dirtyCfg.Lines()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2 := NewL2(DefaultL2())
+	gen := workload.NewGenerator(gcc, 3)
+	s2 := NewSystem(DefaultConfig(), c2, l2, gen)
+	s2.Run(25000)
+
+	if err := c2.Reset(ccfg, ret); err != nil {
+		t.Fatal(err)
+	}
+	l2.Reset()
+	gen.Reset(p, 11)
+	s2.Reset(c2, l2, gen)
+	m2 := s2.Run(40000)
+
+	if m1 != m2 {
+		t.Fatalf("metrics diverged:\nfresh:    %+v\nrecycled: %+v", m1, m2)
+	}
+	if c1.C != c2.C {
+		t.Fatalf("cache counters diverged:\nfresh:    %+v\nrecycled: %+v", c1.C, c2.C)
+	}
+}

@@ -47,6 +47,17 @@ func NewL2(cfg L2Config) *L2 {
 	}
 }
 
+// Reset empties the L2 and zeroes its counters, returning it to the
+// state NewL2 produced while keeping the tag/valid/LRU arrays (a 2 MB
+// L2 model is ~0.5 MB of slices — the single largest allocation in a
+// simulation harness). Tags and LRU stamps of invalidated lines are
+// left stale: they are unreachable until a fill rewrites them.
+func (l *L2) Reset() {
+	clear(l.valid)
+	l.clock = 0
+	l.Accesses, l.Misses, l.Writes = 0, 0, 0
+}
+
 // Access looks up addr, installing it on a miss, and returns the load-
 // to-use latency in cycles.
 func (l *L2) Access(addr uint64) int {

@@ -30,6 +30,14 @@ type Tournament struct {
 // NewTournament returns a predictor with weakly-taken initial state.
 func NewTournament() *Tournament {
 	t := &Tournament{}
+	t.Reset()
+	return t
+}
+
+// Reset restores the predictor to its weakly-taken initial state and
+// zeroes the counters, in place.
+func (t *Tournament) Reset() {
+	*t = Tournament{}
 	for i := range t.localCtr {
 		t.localCtr[i] = 4
 	}
@@ -39,7 +47,6 @@ func NewTournament() *Tournament {
 	for i := range t.choiceCtr {
 		t.choiceCtr[i] = 1 // weakly prefer the local component
 	}
-	return t
 }
 
 func (t *Tournament) localIndex(pc uint64) int { return int(pc>>2) & 1023 }

@@ -3,9 +3,11 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"tdcache/internal/core"
 	"tdcache/internal/cpu"
+	"tdcache/internal/sweep"
 	"tdcache/internal/workload"
 )
 
@@ -33,8 +35,12 @@ func Fig1(p *Params) *Fig1Result {
 		CDF:         make(map[string][]float64, len(p.Benchmarks)),
 		Average:     make([]float64, len(edges)),
 	}
-	for _, bench := range p.Benchmarks {
-		prof, _ := workload.ByName(bench)
+	// Each benchmark builds its own instrumented cache (the reuse hook
+	// precludes sharing a worker harness), so jobs just fan out into
+	// per-benchmark CDF slots; averaging stays in benchmark order.
+	cdfs := make([][]float64, len(p.Benchmarks))
+	p.Pool().Run(len(p.Benchmarks), func(job int, _ *sweep.Worker) {
+		prof, _ := workload.ByName(p.Benchmarks[job])
 		cache, err := core.New(core.DefaultConfig(core.NoRefreshLRU), core.IdealRetention(1024))
 		if err != nil {
 			panic(err)
@@ -57,9 +63,12 @@ func Fig1(p *Params) *Fig1Result {
 				cdf[i] = float64(c) / float64(total)
 			}
 		}
-		res.CDF[bench] = cdf
+		cdfs[job] = cdf
+	})
+	for bi, bench := range p.Benchmarks {
+		res.CDF[bench] = cdfs[bi]
 		for i := range edges {
-			res.Average[i] += cdf[i] / float64(len(p.Benchmarks))
+			res.Average[i] += cdfs[bi][i] / float64(len(p.Benchmarks))
 		}
 	}
 	for i, e := range edges {
@@ -78,9 +87,14 @@ func (r *Fig1Result) Print(w io.Writer) {
 		fmt.Fprintf(w, "%8d", e)
 	}
 	fmt.Fprintln(w)
-	for bench, cdf := range r.CDF {
+	benches := make([]string, 0, len(r.CDF))
+	for bench := range r.CDF {
+		benches = append(benches, bench)
+	}
+	sort.Strings(benches)
+	for _, bench := range benches {
 		fmt.Fprintf(w, "%-10s", bench)
-		for _, v := range cdf {
+		for _, v := range r.CDF[bench] {
 			fmt.Fprintf(w, "%7.1f%%", 100*v)
 		}
 		fmt.Fprintln(w)

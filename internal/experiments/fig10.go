@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"tdcache/internal/core"
+	"tdcache/internal/sweep"
 	"tdcache/internal/variation"
 )
 
@@ -28,23 +29,25 @@ type Fig10Result struct {
 	MaxPower [3]float64
 }
 
-// Fig10 runs the three schemes across the whole severe population.
+// Fig10 runs the three schemes across the whole severe population —
+// the heaviest sweep in the harness (chips × schemes × benchmarks
+// simulations), fanned over the sweep pool into indexed slots.
 func Fig10(p *Params) *Fig10Result {
 	s := p.study(variation.Severe, p.Chips)
 	n := len(s.Chips)
 	r := &Fig10Result{}
 	perf := make([][3]float64, n)
 	pow := make([][3]float64, n)
-	for ci := 0; ci < n; ci++ {
-		ret := s.Chips[ci].Retention
-		step := s.Chips[ci].CounterStep
-		for si, scheme := range Fig10Schemes {
-			perBench, norm := p.suite(cacheSpec{Scheme: scheme, Retention: ret, Step: step})
-			_, _, tot := p.suiteDyn(perBench)
-			perf[ci][si] = norm
-			pow[ci][si] = tot
-		}
-	}
+	p.Pool().Run(n*len(Fig10Schemes), func(job int, w *sweep.Worker) {
+		ci, si := job/len(Fig10Schemes), job%len(Fig10Schemes)
+		chip := &s.Chips[ci]
+		perBench, norm := p.suite(w, cacheSpec{
+			Scheme: Fig10Schemes[si], Retention: chip.Retention, Step: chip.CounterStep,
+		})
+		_, _, tot := p.suiteDyn(w, perBench)
+		perf[ci][si] = norm
+		pow[ci][si] = tot
+	})
 	// Sort chips by descending no-refresh/LRU performance.
 	r.Order = make([]int, n)
 	for i := range r.Order {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"tdcache/internal/sweep"
 	"tdcache/internal/variation"
 )
 
@@ -24,17 +25,23 @@ func Fig11(p *Params) *Fig11Result {
 	g, m, b := s.GoodMedianBad()
 	chips := []int{g, m, b}
 	r := &Fig11Result{Assocs: []int{1, 2, 4, 8}}
-	for ci, idx := range chips {
-		ret := s.Chips[idx].Retention
-		step := s.Chips[idx].CounterStep
-		for si, scheme := range Fig10Schemes {
-			for _, ways := range r.Assocs {
-				sets := 1024 / ways
-				_, norm := p.suite(cacheSpec{
-					Scheme: scheme, Retention: ret, Sets: sets, Ways: ways, Step: step,
-				})
-				r.Perf[ci][si] = append(r.Perf[ci][si], norm)
-			}
+	nS, nA := len(Fig10Schemes), len(r.Assocs)
+	perf := make([]float64, len(chips)*nS*nA)
+	p.Pool().Run(len(perf), func(job int, w *sweep.Worker) {
+		ci, rem := job/(nS*nA), job%(nS*nA)
+		si, ai := rem/nA, rem%nA
+		chip := &s.Chips[chips[ci]]
+		ways := r.Assocs[ai]
+		_, norm := p.suite(w, cacheSpec{
+			Scheme: Fig10Schemes[si], Retention: chip.Retention,
+			Sets: 1024 / ways, Ways: ways, Step: chip.CounterStep,
+		})
+		perf[job] = norm
+	})
+	for ci := range chips {
+		for si := range Fig10Schemes {
+			base := ci*nS*nA + si*nA
+			r.Perf[ci][si] = perf[base : base+nA]
 		}
 	}
 	return r

@@ -6,6 +6,7 @@ import (
 
 	"tdcache/internal/core"
 	"tdcache/internal/stats"
+	"tdcache/internal/sweep"
 )
 
 // Fig12Result reproduces Figure 12: surfaces of normalized performance
@@ -34,6 +35,15 @@ func Fig12(p *Params) *Fig12Result {
 			r.Perf[si][mi] = make([]float64, len(r.SigmaMu))
 		}
 	}
+	// Sequential prepass: synthesize one chip per grid point (cheap —
+	// drawing retentions costs nothing next to simulating them), so the
+	// expensive scheme × point simulations below can fan out freely.
+	type gridChip struct {
+		ret  core.RetentionMap
+		step int64
+	}
+	nG := len(r.SigmaMu)
+	grid := make([]gridChip, len(r.MuCycles)*nG)
 	for mi, mu := range r.MuCycles {
 		for gi, sm := range r.SigmaMu {
 			// One synthetic chip per grid point, shared by all schemes.
@@ -49,12 +59,18 @@ func Fig12(p *Params) *Fig12Result {
 			}
 			step := core.ChooseCounterStep(sec, cyc, cfg.CounterBits)
 			ret := core.QuantizeRetention(sec, cyc, step, cfg.CounterBits)
-			for si, scheme := range Fig10Schemes {
-				_, norm := p.suite(cacheSpec{Scheme: scheme, Retention: ret, Step: step})
-				r.Perf[si][mi][gi] = norm
-			}
+			grid[mi*nG+gi] = gridChip{ret: ret, step: step}
 		}
 	}
+	nS := len(Fig10Schemes)
+	p.Pool().Run(len(grid)*nS, func(job int, w *sweep.Worker) {
+		pi, si := job/nS, job%nS
+		mi, gi := pi/nG, pi%nG
+		_, norm := p.suite(w, cacheSpec{
+			Scheme: Fig10Schemes[si], Retention: grid[pi].ret, Step: grid[pi].step,
+		})
+		r.Perf[si][mi][gi] = norm
+	})
 	return r
 }
 

@@ -67,27 +67,28 @@ func Fig6b(p *Params) *Fig6bResult {
 			Scheme:    core.Scheme{Refresh: core.RefreshGlobal, Placement: core.PlaceLRU},
 			Retention: core.UniformRetention(1024, retCycles),
 		}
-		perBench, norm := p.suite(spec)
+		perBench, norm := p.suite(nil, spec)
 		r.RetentionNS = append(r.RetentionNS, ns)
 		r.MeanPerf = append(r.MeanPerf, norm)
 		worst := 2.0
-		for b, res := range perBench {
-			rel := res.IPC / p.baseline(b, 0, 0).IPC
+		for _, b := range p.Benchmarks {
+			rel := perBench[b].IPC / p.baseline(nil, b, 0, 0).IPC
 			worstAt[b] = append(worstAt[b], rel)
 			if rel < worst {
 				worst = rel
 			}
 		}
 		r.WorstPerf = append(r.WorstPerf, worst)
-		n, ref, tot := p.suiteDyn(perBench)
+		n, ref, tot := p.suiteDyn(nil, perBench)
 		r.NormalDyn = append(r.NormalDyn, n)
 		r.RefreshDyn = append(r.RefreshDyn, ref)
 		r.TotalDyn = append(r.TotalDyn, tot)
 	}
 	// Worst benchmark = lowest mean relative performance over the sweep.
+	// Scan in benchmark order so ties resolve the same way every run.
 	worstMean := 2.0
-	for b, rels := range worstAt {
-		if m := stats.Mean(rels); m < worstMean {
+	for _, b := range p.Benchmarks {
+		if m := stats.Mean(worstAt[b]); m < worstMean {
 			worstMean = m
 			r.WorstBench = b
 		}
@@ -165,7 +166,7 @@ func GlobalRefreshNoVariation(p *Params) *GlobalRefreshResult {
 		Scheme:    core.Scheme{Refresh: core.RefreshGlobal, Placement: core.PlaceLRU},
 		Retention: core.UniformRetention(1024, retCycles),
 	}
-	perBench, norm := p.suite(spec)
+	perBench, norm := p.suite(nil, spec)
 	var passes uint64
 	for _, res := range perBench {
 		passes += res.Cache.GlobalPasses

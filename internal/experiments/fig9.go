@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"tdcache/internal/core"
+	"tdcache/internal/sweep"
 	"tdcache/internal/variation"
 )
 
@@ -17,19 +18,25 @@ type Fig9Result struct {
 	Perf [3][]float64
 }
 
-// Fig9 runs the full scheme matrix.
+// Fig9 runs the full scheme matrix: 3 chips × 8 schemes, each a whole
+// benchmark suite, fanned over the sweep pool into indexed slots.
 func Fig9(p *Params) *Fig9Result {
 	s := p.study(variation.Severe, p.Chips)
 	g, m, b := s.GoodMedianBad()
 	chips := []int{g, m, b}
 	r := &Fig9Result{Schemes: core.Fig9Schemes}
-	for ci, idx := range chips {
-		ret := s.Chips[idx].Retention
-		step := s.Chips[idx].CounterStep
-		for _, scheme := range core.Fig9Schemes {
-			_, norm := p.suite(cacheSpec{Scheme: scheme, Retention: ret, Step: step})
-			r.Perf[ci] = append(r.Perf[ci], norm)
-		}
+	nS := len(core.Fig9Schemes)
+	perf := make([]float64, len(chips)*nS)
+	p.Pool().Run(len(perf), func(job int, w *sweep.Worker) {
+		ci, si := job/nS, job%nS
+		chip := &s.Chips[chips[ci]]
+		_, norm := p.suite(w, cacheSpec{
+			Scheme: core.Fig9Schemes[si], Retention: chip.Retention, Step: chip.CounterStep,
+		})
+		perf[job] = norm
+	})
+	for ci := range chips {
+		r.Perf[ci] = perf[ci*nS : (ci+1)*nS]
 	}
 	return r
 }

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"tdcache/internal/core"
+)
+
+func TestReshapeRetention(t *testing.T) {
+	src := core.RetentionMap{10, 20, 30, 40}
+
+	t.Run("identity", func(t *testing.T) {
+		out := reshapeRetention(src, len(src))
+		for i := range src {
+			if out[i] != src[i] {
+				t.Fatalf("out[%d] = %d, want %d", i, out[i], src[i])
+			}
+		}
+	})
+
+	t.Run("tile up", func(t *testing.T) {
+		out := reshapeRetention(src, 10)
+		if len(out) != 10 {
+			t.Fatalf("len = %d, want 10", len(out))
+		}
+		for i := range out {
+			if want := src[i%len(src)]; out[i] != want {
+				t.Fatalf("out[%d] = %d, want %d (tiling)", i, out[i], want)
+			}
+		}
+	})
+
+	t.Run("stride down", func(t *testing.T) {
+		out := reshapeRetention(src, 2)
+		if len(out) != 2 {
+			t.Fatalf("len = %d, want 2", len(out))
+		}
+		if out[0] != 10 || out[1] != 20 {
+			t.Fatalf("out = %v, want prefix of src", out)
+		}
+	})
+}
+
+// tinyParams builds a miniature configuration for determinism tests:
+// every sweep shape is exercised, but each simulation is short.
+func tinyParams(parallel int) *Params {
+	p := DefaultParams()
+	p.Chips = 4
+	p.DistChips = 6
+	p.Instructions = 3_000
+	p.Benchmarks = []string{"gzip", "mcf"}
+	p.Parallel = parallel
+	return p
+}
+
+// TestParallelOutputByteIdentical is the tentpole guarantee: every
+// sweep-shaped experiment prints byte-identical output whether the jobs
+// run sequentially or on an 8-wide pool.
+func TestParallelOutputByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	for _, id := range []string{"fig9", "fig10", "fig11", "fig12", "tab3", "yield"} {
+		t.Run(id, func(t *testing.T) {
+			var seq, par bytes.Buffer
+			if err := Run(id, tinyParams(1), &seq); err != nil {
+				t.Fatal(err)
+			}
+			if err := Run(id, tinyParams(8), &par); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(seq.Bytes(), par.Bytes()) {
+				t.Errorf("output differs between -parallel 1 and -parallel 8:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+					seq.String(), par.String())
+			}
+		})
+	}
+}
+
+// TestFig10ParallelSmoke always runs (including -short) so that the
+// race-detector CI lane drives a real multi-worker sweep end to end.
+func TestFig10ParallelSmoke(t *testing.T) {
+	p := DefaultParams()
+	p.Chips = 2
+	p.DistChips = 4
+	p.Instructions = 1_500
+	p.Benchmarks = []string{"gzip", "mcf"}
+	p.Parallel = 4
+	r := Fig10(p)
+	if len(r.Order) != p.Chips {
+		t.Fatalf("ranked %d chips, want %d", len(r.Order), p.Chips)
+	}
+	for si := range Fig10Schemes {
+		if len(r.Perf[si]) != p.Chips || len(r.Power[si]) != p.Chips {
+			t.Fatalf("scheme %d: %d perf / %d power points, want %d",
+				si, len(r.Perf[si]), len(r.Power[si]), p.Chips)
+		}
+		for _, v := range r.Perf[si] {
+			if v <= 0 || v > 1.5 {
+				t.Fatalf("scheme %d: implausible normalized perf %v", si, v)
+			}
+		}
+	}
+}

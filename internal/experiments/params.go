@@ -1,7 +1,7 @@
 // Package experiments regenerates every table and figure of the paper's
 // evaluation. Each experiment is a function from Params to a typed
 // result with a Print method that emits the same rows/series the paper
-// reports; the registry in registry.go maps experiment IDs (fig1, fig6b,
+// reports; the registry in registry.go maps experiment IDs (fig1, fig6a,
 // tab3, ...) to runners for the CLI and the benchmark harness.
 //
 // Absolute numbers differ from the paper (the substrate is a synthetic
@@ -9,6 +9,12 @@
 // reproduction targets are the shapes: who wins, by roughly what factor,
 // and where the crossovers fall. EXPERIMENTS.md records paper-vs-
 // measured for every artifact.
+//
+// Sweep-shaped experiments (the chip × scheme × benchmark fan-outs of
+// Fig. 9/10/11/12, Table 3, and the yield curves) submit their jobs to a
+// shared sweep.Pool. Every job writes into a pre-indexed slot and every
+// simulation is a pure function of its (spec, benchmark, seed) key, so
+// the printed output is byte-identical regardless of Params.Parallel.
 package experiments
 
 import (
@@ -20,6 +26,7 @@ import (
 	"tdcache/internal/montecarlo"
 	"tdcache/internal/power"
 	"tdcache/internal/stats"
+	"tdcache/internal/sweep"
 	"tdcache/internal/variation"
 	"tdcache/internal/workload"
 )
@@ -42,10 +49,16 @@ type Params struct {
 	Instructions uint64
 	// Benchmarks selects the workloads (defaults to all eight).
 	Benchmarks []string
+	// Parallel is the sweep worker-pool width: 0 means GOMAXPROCS, 1
+	// restores fully sequential execution. Output is identical either
+	// way; Parallel only changes wall-clock time.
+	Parallel int
 
-	mu        sync.Mutex
-	baselines map[baselineKey]runResult
-	studies   map[studyKey]*montecarlo.Study
+	poolOnce sync.Once
+	pool     *sweep.Pool
+
+	baseMemo  sweep.Memo[baselineKey, runResult]
+	studyMemo sweep.Memo[studyKey, *montecarlo.Study]
 }
 
 type baselineKey struct {
@@ -86,6 +99,15 @@ func QuickParams() *Params {
 	return p
 }
 
+// Pool returns the shared worker pool, creating it on first use with
+// Parallel workers. Experiments submit whole fan-outs to it from the
+// top level; jobs themselves must not call Pool().Run again (they run
+// nested sweeps inline through the worker handed to them).
+func (p *Params) Pool() *sweep.Pool {
+	p.poolOnce.Do(func() { p.pool = sweep.New(p.Parallel) })
+	return p.pool
+}
+
 // runResult is one (cache scheme, benchmark) simulation outcome.
 type runResult struct {
 	IPC     float64
@@ -104,8 +126,21 @@ type cacheSpec struct {
 	Step      int64 // counter step N; 0 = default
 }
 
-// runOne simulates one benchmark against one cache specification.
-func (p *Params) runOne(spec cacheSpec, bench string, seed uint64) runResult {
+// harness is one worker's recycled simulation rig: the cache, L2,
+// generator, and pipeline are allocated once and Reset between jobs, so
+// a sweep's steady-state allocation rate is near zero.
+type harness struct {
+	cache *core.Cache
+	l2    *cpu.L2
+	gen   *workload.Generator
+	sys   *cpu.System
+}
+
+// runOne simulates one benchmark against one cache specification. When
+// w is non-nil the worker's harness is recycled; a fresh rig is built
+// otherwise. Results are identical either way (Reset restores the exact
+// NewX state), which is what makes parallel sweeps byte-deterministic.
+func (p *Params) runOne(w *sweep.Worker, spec cacheSpec, bench string, seed uint64) runResult {
 	prof, ok := workload.ByName(bench)
 	if !ok {
 		panic("experiments: unknown benchmark " + bench)
@@ -126,21 +161,42 @@ func (p *Params) runOne(spec cacheSpec, bench string, seed uint64) runResult {
 		// organization (Fig. 11's associativity sweep).
 		ret = reshapeRetention(spec.Retention, cfg.Lines())
 	}
-	cache, err := core.New(cfg, ret)
-	if err != nil {
-		panic("experiments: " + err.Error())
+	var h *harness
+	if w != nil {
+		h, _ = w.Harness.(*harness)
 	}
-	sys := cpu.NewSystem(cpu.DefaultConfig(), cache, cpu.NewL2(cpu.DefaultL2()), workload.NewGenerator(prof, seed))
-	m := sys.Run(p.Instructions)
+	if h == nil {
+		cache, err := core.New(cfg, ret)
+		if err != nil {
+			panic("experiments: " + err.Error())
+		}
+		h = &harness{
+			cache: cache,
+			l2:    cpu.NewL2(cpu.DefaultL2()),
+			gen:   workload.NewGenerator(prof, seed),
+		}
+		h.sys = cpu.NewSystem(cpu.DefaultConfig(), h.cache, h.l2, h.gen)
+		if w != nil {
+			w.Harness = h
+		}
+	} else {
+		if err := h.cache.Reset(cfg, ret); err != nil {
+			panic("experiments: " + err.Error())
+		}
+		h.l2.Reset()
+		h.gen.Reset(prof, seed)
+		h.sys.Reset(h.cache, h.l2, h.gen)
+	}
+	m := h.sys.Run(p.Instructions)
 	// L2 traffic: demand reads and writes plus the L1's dirty-eviction
 	// write-backs (drained through the write buffer).
-	l2 := sys.L2.Accesses + sys.L2.Writes + cache.C.Writebacks + cache.C.WriteThroughs
+	l2 := h.l2.Accesses + h.l2.Writes + h.cache.C.Writebacks + h.cache.C.WriteThroughs
 	return runResult{
 		IPC:     m.IPC,
 		Metrics: m,
-		Cache:   cache.C,
+		Cache:   h.cache.C,
 		L2Acc:   l2,
-		Dyn:     power.Dynamic(p.Tech, &cache.C, l2, m.Cycles, spec.Scheme),
+		Dyn:     power.Dynamic(p.Tech, &h.cache.C, l2, m.Cycles, spec.Scheme),
 	}
 }
 
@@ -155,78 +211,84 @@ func reshapeRetention(src core.RetentionMap, lines int) core.RetentionMap {
 	return out
 }
 
-// baseline returns (cached) the ideal-6T result for a benchmark.
-func (p *Params) baseline(bench string, sets, ways int) runResult {
+// baseline returns (memoized) the ideal-6T result for a benchmark.
+// Concurrent callers of the same key block on a single computation —
+// the sweep engine's singleflight replaces the old check-then-recompute
+// locking, so a baseline is simulated exactly once per key.
+func (p *Params) baseline(w *sweep.Worker, bench string, sets, ways int) runResult {
 	key := baselineKey{p.Tech.Name, p.Tech.Vdd, bench, sets, ways}
-	p.mu.Lock()
-	if p.baselines == nil {
-		p.baselines = make(map[baselineKey]runResult)
-	}
-	if r, ok := p.baselines[key]; ok {
-		p.mu.Unlock()
-		return r
-	}
-	p.mu.Unlock()
-	lines := 1024
-	if sets != 0 && ways != 0 {
-		lines = sets * ways
-	}
-	r := p.runOne(cacheSpec{
-		Scheme:    core.NoRefreshLRU,
-		Retention: core.IdealRetention(lines),
-		Sets:      sets,
-		Ways:      ways,
-	}, bench, p.Seed)
-	p.mu.Lock()
-	p.baselines[key] = r
-	p.mu.Unlock()
-	return r
+	return p.baseMemo.Do(key, func() runResult {
+		lines := 1024
+		if sets != 0 && ways != 0 {
+			lines = sets * ways
+		}
+		return p.runOne(w, cacheSpec{
+			Scheme:    core.NoRefreshLRU,
+			Retention: core.IdealRetention(lines),
+			Sets:      sets,
+			Ways:      ways,
+		}, bench, p.Seed)
+	})
 }
 
-// study returns (cached) a Monte-Carlo chip study.
+// study returns (memoized) a Monte-Carlo chip study. It hands the shared
+// pool to the Monte-Carlo engine, so it must only be called from the top
+// level of an experiment, never from inside a sweep job.
 func (p *Params) study(sc variation.Scenario, chips int) *montecarlo.Study {
 	key := studyKey{p.Tech.Name, p.Tech.Vdd, sc.Name, chips}
-	p.mu.Lock()
-	if p.studies == nil {
-		p.studies = make(map[studyKey]*montecarlo.Study)
-	}
-	if s, ok := p.studies[key]; ok {
-		p.mu.Unlock()
-		return s
-	}
-	p.mu.Unlock()
-	s := montecarlo.New(montecarlo.Options{
-		Tech: p.Tech, Scenario: sc, Seed: p.Seed ^ 0xc41b, Chips: chips,
+	return p.studyMemo.Do(key, func() *montecarlo.Study {
+		return montecarlo.New(montecarlo.Options{
+			Tech: p.Tech, Scenario: sc, Seed: p.Seed ^ 0xc41b, Chips: chips,
+			Pool: p.Pool(),
+		})
 	})
-	p.mu.Lock()
-	p.studies[key] = s
-	p.mu.Unlock()
-	return s
 }
 
 // suite runs every selected benchmark against a cache spec and returns
 // the per-benchmark results plus the performance normalized to the
 // ideal-6T baseline: HM(IPC_scheme) / HM(IPC_ideal).
-func (p *Params) suite(spec cacheSpec) (perBench map[string]runResult, normPerf float64) {
+//
+// Called with w == nil (from an experiment's top level) the benchmarks
+// fan out over the worker pool; called with a worker (from inside a
+// sweep job) they run inline on that worker's harness.
+func (p *Params) suite(w *sweep.Worker, spec cacheSpec) (perBench map[string]runResult, normPerf float64) {
+	res := make([]runResult, len(p.Benchmarks))
+	base := make([]runResult, len(p.Benchmarks))
+	if w == nil {
+		p.Pool().Run(len(p.Benchmarks), func(job int, jw *sweep.Worker) {
+			res[job] = p.runOne(jw, spec, p.Benchmarks[job], p.Seed)
+			base[job] = p.baseline(jw, p.Benchmarks[job], spec.Sets, spec.Ways)
+		})
+	} else {
+		for i, b := range p.Benchmarks {
+			res[i] = p.runOne(w, spec, b, p.Seed)
+			base[i] = p.baseline(w, b, spec.Sets, spec.Ways)
+		}
+	}
 	perBench = make(map[string]runResult, len(p.Benchmarks))
 	schemeIPC := make([]float64, 0, len(p.Benchmarks))
 	idealIPC := make([]float64, 0, len(p.Benchmarks))
-	for _, b := range p.Benchmarks {
-		r := p.runOne(spec, b, p.Seed)
-		perBench[b] = r
-		schemeIPC = append(schemeIPC, r.IPC)
-		idealIPC = append(idealIPC, p.baseline(b, spec.Sets, spec.Ways).IPC)
+	for i, b := range p.Benchmarks {
+		perBench[b] = res[i]
+		schemeIPC = append(schemeIPC, res[i].IPC)
+		idealIPC = append(idealIPC, base[i].IPC)
 	}
 	normPerf = stats.HarmonicMean(schemeIPC) / stats.HarmonicMean(idealIPC)
 	return perBench, normPerf
 }
 
 // suiteDyn aggregates a suite's dynamic power normalized to the ideal
-// baseline (mean of per-benchmark breakdowns).
-func (p *Params) suiteDyn(perBench map[string]runResult) (norm, refresh, total float64) {
+// baseline (mean of per-benchmark breakdowns). Benchmarks are summed in
+// Params.Benchmarks order — not map order — so the floating-point sums
+// are reproducible run to run.
+func (p *Params) suiteDyn(w *sweep.Worker, perBench map[string]runResult) (norm, refresh, total float64) {
 	var n, r, tot, base float64
-	for b, res := range perBench {
-		bl := p.baseline(b, 0, 0)
+	for _, b := range p.Benchmarks {
+		res, ok := perBench[b]
+		if !ok {
+			continue
+		}
+		bl := p.baseline(w, b, 0, 0)
 		n += res.Dyn.NormalW
 		r += res.Dyn.RefreshW
 		tot += res.Dyn.TotalW()

@@ -87,7 +87,7 @@ func Fig12PointsRun(p *Params) *Fig12PointsResult {
 			pr.SigmaMu = sum.Std / sum.Mean
 		}
 		for si, scheme := range Fig10Schemes {
-			_, norm := p.suite(cacheSpec{
+			_, norm := p.suite(nil, cacheSpec{
 				Scheme:    scheme,
 				Retention: chip.Retention,
 				Step:      chip.CounterStep,

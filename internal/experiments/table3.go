@@ -9,6 +9,7 @@ import (
 	"tdcache/internal/montecarlo"
 	"tdcache/internal/power"
 	"tdcache/internal/stats"
+	"tdcache/internal/sweep"
 	"tdcache/internal/variation"
 )
 
@@ -55,11 +56,16 @@ func Table3(p *Params) *Table3Result {
 		p.Tech = tech
 		row := Table3Row{Node: tech.Name}
 
-		// Ideal 6T.
+		// Ideal 6T: warm the baseline memo for this node in parallel,
+		// then aggregate sequentially in benchmark order so the
+		// floating-point sums are reproducible.
+		p.Pool().Run(len(p.Benchmarks), func(job int, w *sweep.Worker) {
+			p.baseline(w, p.Benchmarks[job], 0, 0)
+		})
 		idealIPC := make([]float64, 0, len(p.Benchmarks))
 		var meanDyn float64
 		for _, b := range p.Benchmarks {
-			r := p.baseline(b, 0, 0)
+			r := p.baseline(nil, b, 0, 0)
 			idealIPC = append(idealIPC, r.IPC)
 			meanDyn += r.Dyn.TotalW()
 		}
@@ -96,11 +102,11 @@ func Table3(p *Params) *Table3Result {
 			Scheme:    core.Scheme{Refresh: core.RefreshGlobal, Placement: core.PlaceLRU},
 			Retention: core.UniformRetention(1024, retCycles),
 		}
-		perBench, norm := p.suite(spec)
+		perBench, norm := p.suite(nil, spec)
 		row.TDBIPS = row.IdealBIPS * norm
 		var tdDyn float64
-		for _, r := range perBench {
-			tdDyn += r.Dyn.TotalW()
+		for _, b := range p.Benchmarks {
+			tdDyn += perBench[b].Dyn.TotalW()
 		}
 		tdDyn /= float64(len(perBench))
 		row.TDMeanDynMW = tdDyn * 1e3

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"tdcache/internal/core"
+	"tdcache/internal/sweep"
 	"tdcache/internal/variation"
 )
 
@@ -37,16 +38,17 @@ func Yield(p *Params) *YieldResult {
 	}
 	n := float64(len(s.Chips))
 
-	// Per-chip performance for each design.
+	// Per-chip performance for each design: one RSP-FIFO suite per chip,
+	// fanned over the sweep pool into indexed slots.
 	rsp := make([]float64, len(s.Chips))
-	for i := range s.Chips {
-		_, norm := p.suite(cacheSpec{
+	p.Pool().Run(len(s.Chips), func(i int, w *sweep.Worker) {
+		_, norm := p.suite(w, cacheSpec{
 			Scheme:    core.RSPFIFO,
 			Retention: s.Chips[i].Retention,
 			Step:      s.Chips[i].CounterStep,
 		})
 		rsp[i] = norm
-	}
+	})
 	const globalUsablePerf = 0.99 // §4.2: usable global chips run near ideal
 	for _, th := range r.Thresholds {
 		var c1, c2, cg, cr float64

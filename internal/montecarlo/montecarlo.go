@@ -7,13 +7,12 @@
 package montecarlo
 
 import (
-	"runtime"
 	"sort"
-	"sync"
 
 	"tdcache/internal/circuit"
 	"tdcache/internal/core"
 	"tdcache/internal/stats"
+	"tdcache/internal/sweep"
 	"tdcache/internal/variation"
 )
 
@@ -67,6 +66,9 @@ type Options struct {
 	// default) selects each chip's step adaptively at test time.
 	CounterStep int64
 	CounterBits int // defaults to core.DefaultConfig's
+	// Pool is the worker pool chip evaluation fans out over; nil builds
+	// a GOMAXPROCS-wide pool for this study alone.
+	Pool *sweep.Pool
 }
 
 // New samples and evaluates a chip population. Evaluation parallelizes
@@ -85,18 +87,16 @@ func New(o Options) *Study {
 		Chips:       make([]Chip, o.Chips),
 	}
 	chips := variation.Population(o.Seed, o.Chips, o.Scenario, circuit.L1D.TileCols, circuit.L1D.TileRows)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i, ch := range chips {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, ch *variation.Chip) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			s.Chips[i] = evaluate(s, i, ch)
-		}(i, ch)
+	pool := o.Pool
+	if pool == nil {
+		pool = sweep.New(0)
 	}
-	wg.Wait()
+	// Each chip is a pure function of its sampled variation map and
+	// lands in its own pre-indexed slot, so the study is identical for
+	// any pool width.
+	pool.Run(len(chips), func(i int, _ *sweep.Worker) {
+		s.Chips[i] = evaluate(s, i, chips[i])
+	})
 	return s
 }
 

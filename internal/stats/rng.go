@@ -42,6 +42,15 @@ func splitMix64(x *uint64) uint64 {
 // the same seed produce identical streams.
 func NewRNG(seed uint64) *RNG {
 	r := &RNG{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed re-initializes r in place to the exact state NewRNG(seed)
+// would produce, including discarding any cached Gaussian variate. It
+// lets long-lived components (reusable simulation harnesses) restart
+// their stream without allocating a new generator.
+func (r *RNG) Reseed(seed uint64) {
 	x := seed
 	for i := range r.s {
 		r.s[i] = splitMix64(&x)
@@ -51,7 +60,8 @@ func NewRNG(seed uint64) *RNG {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 0x9e3779b97f4a7c15
 	}
-	return r
+	r.spare = 0
+	r.hasSpare = false
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
@@ -81,9 +91,18 @@ func (r *RNG) Split() *RNG {
 // example, one per benchmark or per chip) stable streams that do not
 // depend on the order in which sibling subsystems draw.
 func (r *RNG) SplitLabeled(label uint64) *RNG {
+	child := &RNG{}
+	r.SplitLabeledInto(child, label)
+	return child
+}
+
+// SplitLabeledInto reseeds dst with exactly the stream SplitLabeled
+// would give a fresh child, without allocating. Reusable harnesses use
+// it to rebuild their child generators in place.
+func (r *RNG) SplitLabeledInto(dst *RNG, label uint64) {
 	x := r.s[0] ^ rotl(label, 31) ^ 0x2545f4914f6cdd1d
 	x ^= r.s[2]
-	return NewRNG(splitMix64(&x) ^ label)
+	dst.Reseed(splitMix64(&x) ^ label)
 }
 
 // Float64 returns a uniform value in [0, 1).

@@ -1,0 +1,62 @@
+package sweep
+
+import "sync"
+
+// Memo is a keyed, singleflight-style memoizer: the first caller of a
+// key runs compute exactly once while concurrent callers of the same
+// key block until the value is ready, then share it. It replaces the
+// check-then-recompute pattern (check map under lock, unlock, compute,
+// re-lock, store) whose window lets two goroutines missing the same key
+// both run the full computation.
+//
+// compute must be a pure function of the key (the engine's determinism
+// guarantee relies on the value being the same no matter which caller
+// ran it). The zero Memo is ready to use.
+type Memo[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*memoEntry[V]
+	// computes counts compute invocations (diagnostics and tests).
+	computes uint64
+}
+
+type memoEntry[V any] struct {
+	done chan struct{}
+	val  V
+}
+
+// Do returns the memoized value for key, running compute at most once
+// per key across all concurrent callers. compute must not call Do on
+// the same Memo with the same key (it would deadlock on itself).
+func (m *Memo[K, V]) Do(key K, compute func() V) V {
+	m.mu.Lock()
+	if m.m == nil {
+		m.m = make(map[K]*memoEntry[V])
+	}
+	if e, ok := m.m[key]; ok {
+		m.mu.Unlock()
+		<-e.done
+		return e.val
+	}
+	e := &memoEntry[V]{done: make(chan struct{})}
+	m.m[key] = e
+	m.computes++
+	m.mu.Unlock()
+	e.val = compute()
+	close(e.done)
+	return e.val
+}
+
+// Computes reports how many times Do invoked a compute function — with
+// correct deduplication, exactly the number of distinct keys requested.
+func (m *Memo[K, V]) Computes() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.computes
+}
+
+// Len reports the number of memoized keys.
+func (m *Memo[K, V]) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.m)
+}

@@ -1,0 +1,106 @@
+// Package sweep is the deterministic parallel job engine behind the
+// experiment harness. The paper's evaluation is a large cross-product —
+// ~100 Monte-Carlo chips × 8 retention schemes × 8 benchmarks of
+// cycle-level simulation per figure — and every one of those jobs is
+// independent. The engine fans jobs out over a fixed-size worker pool
+// and guarantees the aggregate result is byte-identical to a sequential
+// run regardless of scheduling:
+//
+//   - every job writes into its own pre-indexed result slot, so no
+//     output depends on completion order;
+//   - each job is a pure function of its inputs (all simulation
+//     randomness is explicitly seeded), so no output depends on which
+//     worker ran it;
+//   - shared sub-computations (ideal-6T baselines, Monte-Carlo studies)
+//     are deduplicated with the singleflight-style Memo, so exactly one
+//     worker computes each and the rest reuse the value.
+//
+// Workers are persistent across Run calls and carry a Harness slot for
+// expensive reusable state (a full simulated system: cache, core, L2,
+// workload generator), so a sweep of thousands of jobs allocates a
+// handful of harnesses instead of thousands.
+package sweep
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Worker is one lane of a Pool. A job receives the worker executing it
+// and may stash arbitrary reusable state in Harness; the engine never
+// touches Harness beyond keeping it alive across Run calls.
+type Worker struct {
+	// ID is the worker's index in [0, Pool.Workers()).
+	ID int
+	// Harness holds per-worker reusable state (e.g. a simulation
+	// harness). Only the owning worker may touch it while a Run is in
+	// flight.
+	Harness any
+}
+
+// Pool runs batches of independent jobs on a fixed set of workers.
+// Run is not safe for concurrent calls on the same Pool; the intended
+// topology is one Pool driven by one coordinating goroutine (jobs
+// themselves run concurrently, of course).
+type Pool struct {
+	workers []*Worker
+}
+
+// New builds a pool with n workers; n <= 0 selects runtime.GOMAXPROCS.
+// A 1-worker pool runs jobs inline in submission order — exactly the
+// sequential behavior — which is what `-parallel 1` restores.
+func New(n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{workers: make([]*Worker, n)}
+	for i := range p.workers {
+		p.workers[i] = &Worker{ID: i}
+	}
+	return p
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return len(p.workers) }
+
+// Run executes jobs 0..n-1, calling fn(job, worker) once per job. Jobs
+// self-schedule from a shared counter (idle workers steal the next
+// un-started index), so stragglers never serialize the batch; because
+// each job writes only its own slot, results are independent of the
+// schedule. Run blocks until every job has finished.
+//
+// fn must not call Run on the same pool (submit a flat job list
+// instead, or run nested work inline on the worker it was given).
+func (p *Pool) Run(n int, fn func(job int, w *Worker)) {
+	if n <= 0 {
+		return
+	}
+	k := len(p.workers)
+	if k > n {
+		k = n
+	}
+	if k == 1 {
+		w := p.workers[0]
+		for i := 0; i < n; i++ {
+			fn(i, w)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(k)
+	for wi := 0; wi < k; wi++ {
+		go func(w *Worker) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i, w)
+			}
+		}(p.workers[wi])
+	}
+	wg.Wait()
+}

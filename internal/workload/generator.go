@@ -17,10 +17,14 @@ const (
 
 // Generator produces an unbounded deterministic instruction stream for
 // one profile. It is not safe for concurrent use; create one per
-// simulation.
+// simulation (or recycle one across simulations with Reset).
 type Generator struct {
 	p   Profile
 	rng *stats.RNG
+	// zipfRNG feeds funcPick for the generator's lifetime; scratch is
+	// reused for the child generators only needed during (re)seeding.
+	zipfRNG stats.RNG
+	scratch stats.RNG
 
 	// Generational heap state: active blocks with remaining reuse
 	// budgets, plus a ring of recently retired addresses for L2-level
@@ -82,28 +86,48 @@ const (
 // NewGenerator builds a generator for profile p with the given seed.
 // Identical (profile, seed) pairs produce identical streams.
 func NewGenerator(p Profile, seed uint64) *Generator {
-	rng := stats.NewRNG(seed ^ 0xbadc0ffee)
+	g := &Generator{}
+	g.Reset(p, seed)
+	return g
+}
+
+// Reset re-seeds the generator for a (profile, seed) pair in place,
+// reusing every allocation whose size still fits — the recycling ring,
+// the per-branch tables, the stream-array pool, the Zipf sampler. A
+// reset generator produces exactly the stream NewGenerator(p, seed)
+// would; sweep workers recycle one generator across simulation jobs.
+func (g *Generator) Reset(p Profile, seed uint64) {
 	heapBlocks := uint32(p.FootprintKB * 1024 / 64)
 	if heapBlocks < 64 {
 		heapBlocks = 64
 	}
-	g := &Generator{
-		p:           p,
-		rng:         rng,
-		heapBlocks:  heapBlocks,
-		retired:     make([]uint32, retiredRingCap),
-		streamBytes: uint64(p.StreamKB) * 1024,
-		branchBias:  make([]float64, max(p.StaticBranches, 1)),
+	g.p = p
+	if g.rng == nil {
+		g.rng = stats.NewRNG(seed ^ 0xbadc0ffee)
+	} else {
+		g.rng.Reseed(seed ^ 0xbadc0ffee)
 	}
+	rng := g.rng
+	g.heapBlocks = heapBlocks
+	g.retired = resize(g.retired, retiredRingCap)
+	g.retiredLen, g.retiredNext = 0, 0
+	g.nextFresh = 0
+	g.streamBytes = uint64(p.StreamKB) * 1024
+	g.streamPos, g.streamLeft, g.streamNext = 0, 0, 0
+	g.stackOff = 0
+	g.count = 0
+	g.branchBias = resize(g.branchBias, max(p.StaticBranches, 1))
+	clear(g.branchBias)
 	nActive := p.ActiveBlocks
 	if nActive < 1 {
 		nActive = 1
 	}
-	g.active = make([]activeBlock, nActive)
+	g.active = resize(g.active, nActive)
 	for i := range g.active {
 		g.active[i] = g.freshBlock()
 	}
-	biasRNG := rng.SplitLabeled(3)
+	biasRNG := &g.scratch
+	rng.SplitLabeledInto(biasRNG, 3)
 	// Share of genuinely hard (near-50/50) static branches scales with
 	// the profile's noise: loop-dominated codes like applu have almost
 	// none, chaotic integer codes like twolf have many. Half of the
@@ -113,8 +137,10 @@ func NewGenerator(p Profile, seed uint64) *Generator {
 	if coinFrac > 0.25 {
 		coinFrac = 0.25
 	}
-	g.branchPeriod = make([]int, len(g.branchBias))
-	g.branchPhase = make([]int, len(g.branchBias))
+	g.branchPeriod = resize(g.branchPeriod, len(g.branchBias))
+	g.branchPhase = resize(g.branchPhase, len(g.branchBias))
+	clear(g.branchPeriod)
+	clear(g.branchPhase)
 	for i := range g.branchBias {
 		switch {
 		case biasRNG.Bernoulli(coinFrac):
@@ -136,23 +162,38 @@ func NewGenerator(p Profile, seed uint64) *Generator {
 		g.codeBytes = 64 * 1024
 	}
 	g.fetchPC = codeBase
-	codeRNG := rng.SplitLabeled(6)
-	g.funcEntries = make([]uint64, 256)
+	codeRNG := &g.scratch
+	rng.SplitLabeledInto(codeRNG, 6)
+	g.funcEntries = resize(g.funcEntries, 256)
 	for i := range g.funcEntries {
 		g.funcEntries[i] = codeBase + uint64(codeRNG.Intn(int(g.codeBytes/16)))*16
 	}
-	g.funcPick = stats.NewZipf(rng.SplitLabeled(7), len(g.funcEntries), 1.2)
+	rng.SplitLabeledInto(&g.zipfRNG, 7)
+	if g.funcPick == nil {
+		// The Zipf CDF depends only on (n, s), both fixed, so the sampler
+		// survives resets; only its generator is re-seeded above.
+		g.funcPick = stats.NewZipf(&g.zipfRNG, len(g.funcEntries), 1.2)
+	}
 	// Stream array pool: a handful of arrays that walks rotate over.
-	arrRNG := rng.SplitLabeled(4)
+	arrRNG := &g.scratch
+	rng.SplitLabeledInto(arrRNG, 4)
 	nArrays := p.StreamArrays
 	if nArrays < 1 {
 		nArrays = 1
 	}
-	g.streamArrays = make([]uint64, nArrays)
+	g.streamArrays = resize(g.streamArrays, nArrays)
 	for i := range g.streamArrays {
 		g.streamArrays[i] = streamBase + uint64(arrRNG.Intn(1<<14))*g.streamBytes
 	}
-	return g
+}
+
+// resize returns s with length n, reusing the backing array when it is
+// already large enough. Contents are unspecified; callers overwrite.
+func resize[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
 }
 
 func max(a, b int) int {

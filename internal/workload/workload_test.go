@@ -302,3 +302,26 @@ func TestTemporalLocality(t *testing.T) {
 		t.Errorf("short-reuse fraction = %.3f, want >= 0.75 (Fig. 1 shape)", f)
 	}
 }
+
+func TestGeneratorResetMatchesFresh(t *testing.T) {
+	// A recycled generator must replay exactly the stream a fresh one
+	// produces for the same (profile, seed) — the sweep engine's workers
+	// depend on this for byte-identical parallel output.
+	gcc, _ := ByName("gcc")
+	mcf, _ := ByName("mcf")
+	fresh := NewGenerator(gcc, 7)
+	recycled := NewGenerator(mcf, 99)
+	for i := 0; i < 5000; i++ {
+		recycled.Next()
+	}
+	recycled.Reset(gcc, 7)
+	for i := 0; i < 50000; i++ {
+		a, b := fresh.Next(), recycled.Next()
+		if a != b {
+			t.Fatalf("instruction %d diverged after Reset: %+v vs %+v", i, a, b)
+		}
+	}
+	if fresh.Count() != recycled.Count() {
+		t.Fatalf("counts diverged: %d vs %d", fresh.Count(), recycled.Count())
+	}
+}
