@@ -1,0 +1,128 @@
+// Command tdcache-lint is the determinism lint suite: it runs the four
+// reproducibility analyzers (detrand, mapiter, resetcheck, sweeppure)
+// over the repository and fails on any finding.
+//
+// Two invocation modes:
+//
+//	tdcache-lint ./...                          # standalone, from module root
+//	go vet -vettool=$(which tdcache-lint) ./... # as a vet tool
+//
+// Standalone mode loads and type-checks packages itself (offline, pure
+// stdlib); vet mode speaks the cmd/go unitchecker protocol — the go
+// command hands the tool a JSON config per package with pre-built
+// export data, which is faster and composes with go vet's caching.
+//
+// Findings are suppressed line-by-line with
+//
+//	//lint:allow <rule> <reason>
+//
+// either trailing the offending line or standalone on the line above.
+// The reason is mandatory. See the "Determinism invariants" section of
+// README.md for the rules themselves.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"tdcache/internal/analysis/detrand"
+	"tdcache/internal/analysis/driver"
+	"tdcache/internal/analysis/framework"
+	"tdcache/internal/analysis/mapiter"
+	"tdcache/internal/analysis/resetcheck"
+	"tdcache/internal/analysis/sweeppure"
+)
+
+// analyzers is the determinism suite, in reporting order.
+var analyzers = []*framework.Analyzer{
+	detrand.Analyzer,
+	mapiter.Analyzer,
+	resetcheck.Analyzer,
+	sweeppure.Analyzer,
+}
+
+func main() {
+	progname := filepath.Base(os.Args[0])
+	args := os.Args[1:]
+
+	// The go command probes vet tools before use: -V=full must print a
+	// version line usable as a build ID, and -flags must dump the
+	// tool's flag schema as JSON.
+	if len(args) == 1 && (args[0] == "-V=full" || args[0] == "--V=full") {
+		fmt.Printf("%s version devel comments-go-here buildID=devel\n", progname)
+		return
+	}
+	if len(args) == 1 && (args[0] == "-flags" || args[0] == "--flags") {
+		fmt.Println("[]")
+		return
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		// Unitchecker mode: `go vet -vettool=...` invokes the tool once
+		// per package with a config file.
+		unitcheck(args[0])
+		return
+	}
+
+	if len(args) == 0 {
+		fmt.Fprintf(os.Stderr, "usage: %s ./... | %s <pkg-dir>... (run from inside the module)\n", progname, progname)
+		os.Exit(2)
+	}
+	standalone(args)
+}
+
+// standalone loads packages from directory patterns and reports every
+// surviving finding, exiting 1 if there are any.
+func standalone(patterns []string) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := driver.FindModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := driver.NewModuleLoader(root)
+	if err != nil {
+		fatal(err)
+	}
+	paths, err := loader.Expand(patterns)
+	if err != nil {
+		fatal(err)
+	}
+	findings := 0
+	for _, path := range paths {
+		if skipPath(path) {
+			continue
+		}
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fatal(err)
+		}
+		diags, err := driver.Run(analyzers, pkg, loader.Fset)
+		if err != nil {
+			fatal(err)
+		}
+		for _, d := range diags {
+			fmt.Println(d.String(loader.Fset))
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "tdcache-lint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+// skipPath excludes the analyzers' own testdata-shaped fixtures; the
+// loader already skips testdata/ directories, so this only guards
+// against explicit patterns.
+func skipPath(path string) bool {
+	return strings.Contains(path, "/testdata/")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tdcache-lint:", err)
+	os.Exit(1)
+}

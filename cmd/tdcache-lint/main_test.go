@@ -1,0 +1,40 @@
+package main
+
+import (
+	"testing"
+
+	"tdcache/internal/analysis/driver"
+)
+
+// TestRepositoryIsLintClean is the suite's own regression test: the
+// tree must stay free of determinism findings. It repeats what the CI
+// lint job does, so a violation fails `go test ./...` locally too —
+// this is what keeps the fig6b map-order sum and the cpu.L2 Reset
+// annotations from regressing.
+func TestRepositoryIsLintClean(t *testing.T) {
+	root, err := driver.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := driver.NewModuleLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := loader.Expand([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		diags, err := driver.Run(analyzers, pkg, loader.Fset)
+		if err != nil {
+			t.Fatalf("running suite on %s: %v", path, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d.String(loader.Fset))
+		}
+	}
+}

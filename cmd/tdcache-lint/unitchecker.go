@@ -1,0 +1,159 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"tdcache/internal/analysis/driver"
+)
+
+// vetConfig is the JSON configuration cmd/go writes for a vet tool,
+// one file per package. Field names and semantics follow the
+// unitchecker protocol (x/tools/go/analysis/unitchecker); fields this
+// tool does not need are accepted and ignored so the config parses
+// across go releases.
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoVersion    string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+	ImportMap    map[string]string
+	PackageFile  map[string]string
+	Standard     map[string]bool
+	PackageVetx  map[string]string
+	VetxOnly     bool
+	VetxOutput   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes one package described by a vet config file and
+// exits non-zero on findings, mirroring unitchecker.Main.
+func unitcheck(cfgFile string) {
+	cfg, err := readConfig(cfgFile)
+	if err != nil {
+		fatal(err)
+	}
+	// The suite exchanges no facts between packages, but the protocol
+	// requires the vetx output file to exist for the build system's
+	// dependency tracking.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fatal(err)
+		}
+	}
+	if cfg.VetxOnly {
+		return // dependency pass: facts only, and we have none
+	}
+	diags, err := analyzeUnit(cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return
+		}
+		fatal(err)
+	}
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		os.Exit(2)
+	}
+}
+
+func readConfig(path string) (*vetConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parsing vet config %s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+// analyzeUnit parses and type-checks the unit against the pre-built
+// export data of its dependencies, then runs the suite.
+func analyzeUnit(cfg *vetConfig) ([]string, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	tconf := types.Config{
+		Importer:  &mappingImporter{imp: imp, importMap: cfg.ImportMap},
+		GoVersion: cfg.GoVersion,
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", cfg.ImportPath, err)
+	}
+	pkg := &driver.Package{Path: cfg.ImportPath, Dir: cfg.Dir, Files: files, Types: tpkg, Info: info}
+	diags, err := driver.Run(analyzers, pkg, fset)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, d.String(fset))
+	}
+	return out, nil
+}
+
+// mappingImporter canonicalizes import paths through the vet config's
+// ImportMap before consulting export data, and resolves "unsafe"
+// directly.
+type mappingImporter struct {
+	imp       types.Importer
+	importMap map[string]string
+}
+
+func (m *mappingImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if mapped, ok := m.importMap[path]; ok {
+		path = mapped
+	}
+	return m.imp.Import(path)
+}

@@ -1,0 +1,112 @@
+// Package analysistest runs a determinism analyzer over testdata
+// packages and checks its diagnostics against `// want` expectations,
+// mirroring golang.org/x/tools/go/analysis/analysistest on top of the
+// repository's stdlib-only framework.
+//
+// Testdata layout follows the x/tools convention:
+//
+//	testdata/src/<import/path>/<files>.go
+//
+// Expectations are trailing comments of the form
+//
+//	code() // want `regexp`
+//	code() // want `first` `second`
+//
+// Every diagnostic (after `//lint:allow` suppression — testdata can
+// therefore also demonstrate accepted suppressions) must match a want
+// on its line, and every want must be matched by some diagnostic.
+package analysistest
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"tdcache/internal/analysis/driver"
+	"tdcache/internal/analysis/framework"
+)
+
+// wantRe captures the expectation list of a want comment.
+var wantRe = regexp.MustCompile("//\\s*want\\s+((?:`[^`]*`|\"[^\"]*\")(?:\\s+(?:`[^`]*`|\"[^\"]*\"))*)")
+
+var wantArgRe = regexp.MustCompile("`[^`]*`|\"[^\"]*\"")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// Run loads each testdata package and checks analyzer a against the
+// package's want comments. dir is the testdata root (the directory
+// containing src/).
+func Run(t *testing.T, dir string, a *framework.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	loader := driver.NewTreeLoader(filepath.Join(dir, "src"))
+	for _, path := range pkgPaths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		diags, err := driver.Run([]*framework.Analyzer{a}, pkg, loader.Fset)
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		checkExpectations(t, loader.Fset, pkg, diags)
+	}
+}
+
+func checkExpectations(t *testing.T, fset *token.FileSet, pkg *driver.Package, diags []framework.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		filename := fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				line := fset.Position(c.Pos()).Line
+				for _, arg := range wantArgRe.FindAllString(m[1], -1) {
+					pat := arg[1 : len(arg)-1]
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", filename, line, pat, err)
+					}
+					wants = append(wants, &expectation{file: filename, line: line, re: re, raw: pat})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d.String(fset))
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", relName(w.file), w.line, w.raw)
+		}
+	}
+}
+
+func relName(file string) string {
+	if i := strings.LastIndex(file, "testdata"); i >= 0 {
+		return file[i:]
+	}
+	return file
+}

@@ -1,0 +1,15 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"tdcache/internal/analysis/analysistest"
+	"tdcache/internal/analysis/detrand"
+)
+
+func TestDetrand(t *testing.T) {
+	analysistest.Run(t, "testdata", detrand.Analyzer,
+		"tdcache/internal/circuit", // in scope: violations and a suppression
+		"tdcache/cmd/report",       // out of scope: time.Now is legal
+	)
+}

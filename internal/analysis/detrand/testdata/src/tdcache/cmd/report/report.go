@@ -1,0 +1,11 @@
+// Package report is a testdata stand-in for a cmd/ front-end: outside
+// the simulator packages, wall-clock reads for progress reporting are
+// legitimate and the detrand rule does not apply.
+package report
+
+import "time"
+
+// Stamp may read the clock: front-ends report wall time.
+func Stamp() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,28 @@
+// Package circuit is a testdata stand-in for an in-scope simulator
+// package: the detrand rule applies here.
+package circuit
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Sample draws ambient entropy three forbidden ways.
+func Sample() float64 {
+	v := rand.Float64()          // want `math/rand.Float64 is unseeded process-global randomness`
+	start := time.Now()          // want `time.Now reads the wall clock inside a simulator package`
+	elapsed := time.Since(start) // want `time.Since reads the wall clock inside a simulator package`
+	return v + elapsed.Seconds()
+}
+
+// Shuffled demonstrates an accepted suppression: the directive names
+// the rule and carries a reason, so the finding is filtered out.
+func Shuffled(n int) []int {
+	return rand.Perm(n) //lint:allow detrand fixture exercising the suppression path
+}
+
+// LegalTime shows that deterministic uses of the time package stay
+// legal: only the wall-clock reads are banned.
+func LegalTime() time.Duration {
+	return 3 * time.Millisecond
+}

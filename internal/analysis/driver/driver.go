@@ -1,0 +1,319 @@
+// Package driver loads and type-checks packages for the determinism
+// lint suite and runs analyzers over them.
+//
+// The loader is built entirely on the standard library (go/parser +
+// go/types + go/importer) so the suite works in the offline build
+// environment where golang.org/x/tools is unavailable. Imports inside
+// the current module are resolved by walking the module tree directly;
+// standard-library imports are type-checked from GOROOT source via the
+// "source" compiler importer. Both paths are hermetic: no network, no
+// GOPATH, no build cache.
+package driver
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"tdcache/internal/analysis/framework"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the package's import path.
+	Path string
+	// Dir is the directory its files were read from.
+	Dir string
+	// Files are the non-test syntax trees, parsed with comments.
+	Files []*ast.File
+	// Types and Info are the type-checker's results.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads packages by import path. Exactly one of the two modes
+// is active:
+//
+//   - module mode (ModuleRoot/ModulePath set): paths under ModulePath
+//     resolve to directories under ModuleRoot;
+//   - tree mode (SrcRoot set): every path resolves to SrcRoot/<path>,
+//     the layout analysistest uses for testdata packages.
+//
+// Standard-library paths resolve through the source importer in both
+// modes. The same Loader must be reused across LoadDir calls so
+// mutually-importing packages share one type universe.
+type Loader struct {
+	Fset *token.FileSet
+
+	ModuleRoot string
+	ModulePath string
+	SrcRoot    string
+
+	pkgs map[string]*Package
+	std  types.ImporterFrom
+}
+
+// NewModuleLoader returns a loader for the module rooted at dir (the
+// directory containing go.mod).
+func NewModuleLoader(root string) (*Loader, error) {
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	return &Loader{Fset: token.NewFileSet(), ModuleRoot: root, ModulePath: modPath}, nil
+}
+
+// NewTreeLoader returns a loader resolving import paths under srcRoot.
+func NewTreeLoader(srcRoot string) *Loader {
+	return &Loader{Fset: token.NewFileSet(), SrcRoot: srcRoot}
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("driver: no module line in %s", gomod)
+}
+
+// FindModuleRoot walks up from dir to the nearest go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("driver: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// dirFor maps an import path to a directory, or "" when the path is
+// outside the loader's tree (a standard-library import).
+func (l *Loader) dirFor(path string) string {
+	if l.SrcRoot != "" {
+		dir := filepath.Join(l.SrcRoot, filepath.FromSlash(path))
+		if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+			return dir
+		}
+		return ""
+	}
+	if path == l.ModulePath {
+		return l.ModuleRoot
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+		return filepath.Join(l.ModuleRoot, filepath.FromSlash(rest))
+	}
+	return ""
+}
+
+// Load returns the type-checked package for an import path inside the
+// loader's tree.
+func (l *Loader) Load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		if p == nil {
+			return nil, fmt.Errorf("driver: import cycle through %s", path)
+		}
+		return p, nil
+	}
+	dir := l.dirFor(path)
+	if dir == "" {
+		return nil, fmt.Errorf("driver: %s is not inside the loaded tree", path)
+	}
+	if l.pkgs == nil {
+		l.pkgs = make(map[string]*Package)
+	}
+	l.pkgs[path] = nil // cycle marker
+	pkg, err := l.check(path, dir)
+	if err != nil {
+		delete(l.pkgs, path)
+		return nil, err
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// check parses and type-checks the package in dir.
+func (l *Loader) check(path, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("driver: no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: (*loaderImporter)(l)}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("driver: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// loaderImporter adapts a Loader to types.Importer, falling back to
+// the GOROOT source importer for paths outside the tree.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(li)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if l.dirFor(path) != "" {
+		p, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	if l.std == nil {
+		l.std = importer.ForCompiler(l.Fset, "source", nil).(types.ImporterFrom)
+	}
+	return l.std.Import(path)
+}
+
+// Expand resolves command-line patterns ("./...", "./internal/core",
+// "internal/...") into import paths within the module, skipping
+// testdata, vendor, and hidden directories. Only module mode supports
+// patterns.
+func (l *Loader) Expand(patterns []string) ([]string, error) {
+	if l.ModuleRoot == "" {
+		return nil, fmt.Errorf("driver: patterns need a module loader")
+	}
+	seen := make(map[string]bool)
+	var out []string
+	add := func(rel string) {
+		rel = filepath.ToSlash(rel)
+		path := l.ModulePath
+		if rel != "." && rel != "" {
+			path += "/" + rel
+		}
+		if !seen[path] {
+			seen[path] = true
+			out = append(out, path)
+		}
+	}
+	for _, pat := range patterns {
+		pat = filepath.ToSlash(strings.TrimPrefix(pat, "./"))
+		if pat == "" {
+			pat = "."
+		}
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok || pat == "..." {
+			base := l.ModuleRoot
+			if ok && rest != "" && rest != "." {
+				base = filepath.Join(l.ModuleRoot, filepath.FromSlash(rest))
+			}
+			err := filepath.WalkDir(base, func(p string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if p != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+					name == "testdata" || name == "vendor") {
+					return filepath.SkipDir
+				}
+				if hasGoFiles(p) {
+					rel, err := filepath.Rel(l.ModuleRoot, p)
+					if err != nil {
+						return err
+					}
+					add(rel)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		dir := filepath.Join(l.ModuleRoot, filepath.FromSlash(pat))
+		if !hasGoFiles(dir) {
+			return nil, fmt.Errorf("driver: no Go files in %s", dir)
+		}
+		rel, err := filepath.Rel(l.ModuleRoot, dir)
+		if err != nil {
+			return nil, err
+		}
+		add(rel)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") &&
+			!strings.HasSuffix(e.Name(), "_test.go") && !strings.HasPrefix(e.Name(), ".") {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes every analyzer over pkg and returns the diagnostics
+// that survive `//lint:allow` suppression, in position order.
+func Run(analyzers []*framework.Analyzer, pkg *Package, fset *token.FileSet) ([]framework.Diagnostic, error) {
+	var diags []framework.Diagnostic
+	sink := func(d framework.Diagnostic) { diags = append(diags, d) }
+	for _, a := range analyzers {
+		pass := framework.NewPass(a, fset, pkg.Files, pkg.Types, pkg.Info, sink)
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("driver: %s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	sup := framework.CollectSuppressions(fset, pkg.Files)
+	return sup.Filter(diags), nil
+}

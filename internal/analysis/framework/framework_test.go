@@ -1,0 +1,115 @@
+package framework
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+const suppressionSrc = `package p
+
+func f() {
+	a := 1 //lint:allow rulea trailing directive covers its own line
+	//lint:allow ruleb standalone directive covers the next line
+	b := 2
+	c := 3 //lint:allow rulea
+	_, _, _ = a, b, c
+}
+`
+
+// parse returns the file and the fset positions of lines.
+func parse(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+// posOnLine fabricates a Pos on the given 1-based line of the file.
+func posOnLine(fset *token.FileSet, f *ast.File, line int) token.Pos {
+	tf := fset.File(f.Pos())
+	return tf.LineStart(line)
+}
+
+func TestSuppressions(t *testing.T) {
+	fset, f := parse(t, suppressionSrc)
+	s := CollectSuppressions(fset, []*ast.File{f})
+
+	cases := []struct {
+		rule       string
+		line       int
+		suppressed bool
+	}{
+		{"rulea", 4, true},  // trailing directive, own line
+		{"ruleb", 4, false}, // wrong rule
+		{"ruleb", 6, true},  // standalone directive, next line
+		{"rulea", 6, false}, // standalone directive names ruleb only
+		{"rulea", 7, false}, // reasonless directive is not a directive
+		{"rulea", 8, false}, // no directive at all
+	}
+	for _, c := range cases {
+		d := Diagnostic{Rule: c.rule, Pos: posOnLine(fset, f, c.line)}
+		if got := s.Suppressed(d); got != c.suppressed {
+			t.Errorf("Suppressed(%s @ line %d) = %v, want %v", c.rule, c.line, got, c.suppressed)
+		}
+	}
+}
+
+func TestFilterSortsByPosition(t *testing.T) {
+	fset, f := parse(t, suppressionSrc)
+	s := CollectSuppressions(fset, []*ast.File{f})
+	d6 := Diagnostic{Rule: "x", Pos: posOnLine(fset, f, 6), Message: "later"}
+	d3 := Diagnostic{Rule: "x", Pos: posOnLine(fset, f, 3), Message: "earlier"}
+	out := s.Filter([]Diagnostic{d6, d3})
+	if len(out) != 2 || out[0].Message != "earlier" || out[1].Message != "later" {
+		t.Fatalf("Filter order = %+v", out)
+	}
+}
+
+func TestRootIdent(t *testing.T) {
+	cases := map[string]string{
+		"x":        "x",
+		"x.f":      "x",
+		"x.f[i].g": "x",
+		"(*x).f":   "x",
+		"f()":      "",
+		"f().g":    "",
+		"[]int{1}": "",
+		"m[k]":     "m",
+	}
+	for src, want := range cases {
+		e, err := parser.ParseExpr(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		got := ""
+		if id := RootIdent(e); id != nil {
+			got = id.Name
+		}
+		if got != want {
+			t.Errorf("RootIdent(%s) = %q, want %q", src, got, want)
+		}
+	}
+}
+
+func TestWalkStack(t *testing.T) {
+	_, f := parse(t, "package p\nfunc f() { for { _ = 1 } }\n")
+	sawForUnderFunc := false
+	WalkStack(f, func(n ast.Node, stack []ast.Node) bool {
+		if _, ok := n.(*ast.ForStmt); ok {
+			for _, a := range stack {
+				if _, ok := a.(*ast.FuncDecl); ok {
+					sawForUnderFunc = true
+				}
+			}
+		}
+		return true
+	})
+	if !sawForUnderFunc {
+		t.Error("WalkStack never showed the FuncDecl ancestor of the for statement")
+	}
+}

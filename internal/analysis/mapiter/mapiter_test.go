@@ -1,0 +1,12 @@
+package mapiter_test
+
+import (
+	"testing"
+
+	"tdcache/internal/analysis/analysistest"
+	"tdcache/internal/analysis/mapiter"
+)
+
+func TestMapiter(t *testing.T) {
+	analysistest.Run(t, "testdata", mapiter.Analyzer, "mapiter")
+}

@@ -1,0 +1,91 @@
+// Package mapiter is testdata for the range-over-map determinism rule.
+package mapiter
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FloatSum accumulates floats in map order: the canonical violation.
+func FloatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `sum accumulates floating-point values in map iteration order`
+	}
+	return sum
+}
+
+// IntSum accumulates ranged integers: flagged because the loop shape
+// breaks determinism the day the expression grows a float.
+func IntSum(m map[string]int) int {
+	var total int
+	for _, v := range m {
+		total += v // want `total accumulates map values in iteration order`
+	}
+	return total
+}
+
+// Concat builds a string in map order.
+func Concat(m map[string]string) string {
+	var s string
+	for _, v := range m {
+		s += v // want `s concatenates strings in map iteration order`
+	}
+	return s
+}
+
+// UnsortedKeys collects keys but never sorts them.
+func UnsortedKeys(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k) // want `append to ks inside a range over a map produces nondeterministic element order`
+	}
+	return ks
+}
+
+// SortedKeys is the canonical collect-then-sort idiom: accepted.
+func SortedKeys(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// Dump prints rows in map order.
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `fmt.Println inside a range over a map prints rows in nondeterministic order`
+	}
+}
+
+// Invert writes to a slot keyed by the iteration variable: each map
+// entry lands in its own slot, so order cannot matter. Accepted.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Count increments a counter that never touches the ranged values:
+// commutative by construction, accepted.
+func Count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Histogram demonstrates an accepted suppression of the integer rule.
+func Histogram(m map[string]int) int {
+	var bits int
+	for _, v := range m {
+		//lint:allow mapiter bitwise-or is commutative and can never become floating-point
+		bits |= v
+	}
+	return bits
+}

@@ -1,0 +1,12 @@
+package resetcheck_test
+
+import (
+	"testing"
+
+	"tdcache/internal/analysis/analysistest"
+	"tdcache/internal/analysis/resetcheck"
+)
+
+func TestResetcheck(t *testing.T) {
+	analysistest.Run(t, "testdata", resetcheck.Analyzer, "resetcheck")
+}

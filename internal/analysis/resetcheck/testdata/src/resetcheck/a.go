@@ -1,0 +1,86 @@
+// Package resetcheck is testdata for the harness-recycling rule.
+package resetcheck
+
+// Leaky forgets one of its mutable fields in Reset.
+type Leaky struct {
+	hits int // want `field Leaky.hits is mutated by other methods but never touched by Reset`
+	name string
+}
+
+func (l *Leaky) Touch() { l.hits++ }
+
+// Reset forgets hits; name is never mutated, so it needs no reset.
+func (l *Leaky) Reset() { _ = l.name }
+
+// Clean resets every mutable field, including a re-sliced buffer.
+type Clean struct {
+	n   int
+	buf []float64
+}
+
+func (c *Clean) Add(x float64) {
+	c.buf = append(c.buf, x)
+	c.n++
+}
+
+func (c *Clean) Reset() {
+	c.buf = c.buf[:0]
+	c.n = 0
+}
+
+// Wipe covers everything with a whole-receiver assignment.
+type Wipe struct {
+	a, b int
+}
+
+func (w *Wipe) Bump() { w.a++; w.b++ }
+
+func (w *Wipe) Reset() { *w = Wipe{} }
+
+// ByValue resets a copy: nothing survives the call.
+type ByValue struct {
+	n int
+}
+
+func (v *ByValue) Inc() { v.n++ }
+
+func (v ByValue) Reset() { v.n = 0 } // want `ByValue.Reset has a value receiver`
+
+// Cache demonstrates an accepted suppression: stale tags are
+// unreachable once valid is cleared, so leaving them is deliberate.
+type Cache struct {
+	//lint:allow resetcheck stale tags are unreachable once valid is cleared
+	tags  []uint64
+	valid []bool
+}
+
+func (c *Cache) Fill(i int, tag uint64) {
+	c.tags[i] = tag
+	c.valid[i] = true
+}
+
+func (c *Cache) Reset() { clear(c.valid) }
+
+// NoReset has mutable state but no Reset method: out of scope.
+type NoReset struct {
+	n int
+}
+
+func (r *NoReset) Inc() { r.n++ }
+
+// SubReset delegates a field's reset to the field's own Reset method;
+// calling a method on the field counts as touching it.
+type SubReset struct {
+	inner Clean
+	count int
+}
+
+func (s *SubReset) Work(x float64) {
+	s.inner.buf = append(s.inner.buf, x)
+	s.count++
+}
+
+func (s *SubReset) Reset() {
+	s.inner.Reset()
+	s.count = 0
+}

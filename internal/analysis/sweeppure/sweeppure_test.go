@@ -1,0 +1,12 @@
+package sweeppure_test
+
+import (
+	"testing"
+
+	"tdcache/internal/analysis/analysistest"
+	"tdcache/internal/analysis/sweeppure"
+)
+
+func TestSweeppure(t *testing.T) {
+	analysistest.Run(t, "testdata", sweeppure.Analyzer, "a")
+}

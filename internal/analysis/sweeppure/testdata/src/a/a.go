@@ -1,0 +1,58 @@
+// Package a is testdata for the sweep-job purity rule.
+package a
+
+import "tdcache/internal/sweep"
+
+// shared is package-level state no job may write.
+var shared int
+
+// Good writes only to its pre-indexed slot: accepted.
+func Good(p *sweep.Pool, n int) []float64 {
+	res := make([]float64, n)
+	p.Run(n, func(job int, w *sweep.Worker) {
+		res[job] = float64(job)
+	})
+	return res
+}
+
+// GoodDerived indexes through closure-locals derived from the job
+// index (the fig10/fig12 shape): accepted.
+func GoodDerived(p *sweep.Pool, n int) [][3]float64 {
+	res := make([][3]float64, n)
+	p.Run(n*3, func(job int, w *sweep.Worker) {
+		ci, si := job/3, job%3
+		res[ci][si] = float64(job)
+	})
+	return res
+}
+
+// Bad accumulates into shared state from inside jobs.
+func Bad(p *sweep.Pool, n int) float64 {
+	var total float64
+	p.Run(n, func(job int, w *sweep.Worker) {
+		total += float64(job) // want `sweep job writes to total \(state shared across jobs\)`
+		shared++              // want `sweep job writes to shared \(package-level state\)`
+	})
+	return total
+}
+
+// LoopCapture reads the submitting loop's variable from inside the job.
+func LoopCapture(p *sweep.Pool, specs []int) []int {
+	res := make([]int, len(specs))
+	for _, s := range specs {
+		p.Run(len(specs), func(job int, w *sweep.Worker) {
+			res[job] = s // want `sweep job closure captures loop variable s`
+		})
+	}
+	return res
+}
+
+// Allowed demonstrates an accepted suppression.
+func Allowed(p *sweep.Pool, n int) int {
+	hits := 0
+	p.Run(n, func(job int, w *sweep.Worker) {
+		//lint:allow sweeppure fixture exercising the suppression path
+		hits++
+	})
+	return hits
+}

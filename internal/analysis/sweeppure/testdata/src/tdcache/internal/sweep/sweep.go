@@ -1,0 +1,18 @@
+// Package sweep is a testdata stub of the real sweep engine: just
+// enough surface for the sweeppure analyzer to recognize Pool.Run by
+// its receiver type and package path.
+package sweep
+
+// Worker mirrors the real per-worker harness handle.
+type Worker struct{}
+
+// Pool mirrors the real deterministic sweep pool.
+type Pool struct{}
+
+// Run mirrors (*sweep.Pool).Run's signature.
+func (p *Pool) Run(n int, fn func(job int, w *Worker)) {
+	w := &Worker{}
+	for job := 0; job < n; job++ {
+		fn(job, w)
+	}
+}

@@ -9,10 +9,12 @@ type L2 struct {
 	lineBytes  int
 	hitLat     int
 	memLat     int
-	tags       []uint64
-	valid      []bool
-	lastUsed   []int64
-	clock      int64
+	//lint:allow resetcheck stale tags are unreachable once valid is cleared; a fill rewrites them before any lookup can match
+	tags  []uint64
+	valid []bool
+	//lint:allow resetcheck stale LRU stamps are consulted only among valid lines, and Reset invalidates every line
+	lastUsed []int64
+	clock    int64
 
 	// Counters for the power model.
 	Accesses, Misses uint64

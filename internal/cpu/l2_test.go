@@ -60,3 +60,45 @@ func TestL2DefaultMatchesTable2(t *testing.T) {
 		t.Errorf("L2 = %dKB %d-way, want 2MB 4-way (Table 2)", cfg.SizeKB, cfg.Ways)
 	}
 }
+
+// TestL2ResetEquivalentToFresh backs the two `//lint:allow resetcheck`
+// annotations on L2.tags and L2.lastUsed: Reset leaves both arrays
+// stale, and this test proves a recycled L2 is observationally
+// identical to a fresh one — stale entries must be unreachable once
+// valid is cleared. If Reset ever stops clearing valid (or the victim
+// scan starts consulting stale state), this fails.
+func TestL2ResetEquivalentToFresh(t *testing.T) {
+	drive := func(l2 *L2) (lat int, acc, miss, wr uint64) {
+		// Deterministic mixed read/write stream with enough set reuse to
+		// exercise hits, evictions, and the LRU victim scan.
+		x := uint64(0x2545f4914f6cdd1d)
+		for i := 0; i < 20000; i++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			addr := (x % 8192) * 64 // 8192 lines over a 2 MB cache: heavy conflict traffic
+			if i%7 == 0 {
+				l2.Write(addr)
+			} else {
+				lat += l2.Access(addr)
+			}
+		}
+		return lat, l2.Accesses, l2.Misses, l2.Writes
+	}
+
+	fresh := NewL2(DefaultL2())
+	wantLat, wantAcc, wantMiss, wantWr := drive(fresh)
+
+	recycled := NewL2(DefaultL2())
+	drive(recycled) // dirty every array with a first job
+	recycled.Reset()
+	lat, acc, miss, wr := drive(recycled)
+
+	if lat != wantLat || acc != wantAcc || miss != wantMiss || wr != wantWr {
+		t.Fatalf("recycled L2 diverges from fresh: lat %d/%d acc %d/%d miss %d/%d wr %d/%d",
+			lat, wantLat, acc, wantAcc, miss, wantMiss, wr, wantWr)
+	}
+	if miss == 0 || miss == acc {
+		t.Fatalf("degenerate drive (miss=%d acc=%d): test exercises nothing", miss, acc)
+	}
+}

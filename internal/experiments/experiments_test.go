@@ -166,3 +166,19 @@ func TestFig4PrintIncludesAnchors(t *testing.T) {
 		t.Error("Fig4 print missing retention line")
 	}
 }
+
+// TestGlobalRefreshDeterministic is the regression test for the fig6b
+// mapiter fix: GlobalPasses was summed by ranging over the per-benchmark
+// result map, and the aggregate must be identical run to run now that
+// the sum walks Params.Benchmarks in canonical order. Two invocations
+// must agree on every reported number.
+func TestGlobalRefreshDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	a := GlobalRefreshNoVariation(sharedQuick)
+	b := GlobalRefreshNoVariation(sharedQuick)
+	if *a != *b {
+		t.Fatalf("GlobalRefreshNoVariation not deterministic:\n  first  %+v\n  second %+v", *a, *b)
+	}
+}

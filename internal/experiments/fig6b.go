@@ -167,9 +167,11 @@ func GlobalRefreshNoVariation(p *Params) *GlobalRefreshResult {
 		Retention: core.UniformRetention(1024, retCycles),
 	}
 	perBench, norm := p.suite(nil, spec)
+	// Sum in Params.Benchmarks order, not map order, so the result is
+	// bitwise-stable run to run (mapiter rule).
 	var passes uint64
-	for _, res := range perBench {
-		passes += res.Cache.GlobalPasses
+	for _, b := range p.Benchmarks {
+		passes += perBench[b].Cache.GlobalPasses
 	}
 	passCycles := float64(1024 / 4 * core.DefaultConfig(core.NoRefreshLRU).RefreshCycles)
 	return &GlobalRefreshResult{

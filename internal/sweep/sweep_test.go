@@ -75,6 +75,7 @@ func TestPoolZeroAndNegativeSizes(t *testing.T) {
 	}
 	p := New(2)
 	ran := false
+	//lint:allow sweeppure Run(0) schedules no jobs; the write is a must-not-happen sentinel
 	p.Run(0, func(int, *Worker) { ran = true })
 	if ran {
 		t.Fatal("Run(0) executed a job")
@@ -131,5 +132,46 @@ func TestMemoDistinctKeys(t *testing.T) {
 	}
 	if m.Computes() != 10 {
 		t.Fatalf("computes = %d, want 10 (one per distinct key)", m.Computes())
+	}
+}
+
+// TestMemoConcurrentSameKeySharesPointer pins down the sharing
+// semantics the experiment harness relies on: when many workers miss
+// the same key at once, every caller must receive the one pointer the
+// single compute produced — not a value copied per caller and not a
+// second computation's result. (Params.baseline memoizes *runResult-
+// shaped values; aliasing is what makes the memo cheap.)
+func TestMemoConcurrentSameKeySharesPointer(t *testing.T) {
+	type result struct{ ipc float64 }
+	var m Memo[string, *result]
+	var computes atomic.Int32
+	const goroutines = 64
+	ptrs := make([]*result, goroutines)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			ptrs[g] = m.Do("base", func() *result {
+				computes.Add(1)
+				return &result{ipc: 1.5}
+			})
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+	if c := computes.Load(); c != 1 {
+		t.Fatalf("compute ran %d times for one key, want 1", c)
+	}
+	first := ptrs[0]
+	if first == nil || first.ipc != 1.5 {
+		t.Fatalf("first caller got %+v", first)
+	}
+	for g, p := range ptrs {
+		if p != first {
+			t.Fatalf("goroutine %d got pointer %p, want shared %p", g, p, first)
+		}
 	}
 }
