@@ -1,6 +1,7 @@
-// Command tdcache-lint is the determinism lint suite: it runs the four
-// reproducibility analyzers (detrand, mapiter, resetcheck, sweeppure)
-// over the repository and fails on any finding.
+// Command tdcache-lint is the determinism and physical-correctness lint
+// suite: it runs the four reproducibility analyzers (detrand, mapiter,
+// resetcheck, sweeppure) plus the two unit-discipline analyzers
+// (unitflow, floatcmp) over the repository and fails on any finding.
 //
 // Two invocation modes:
 //
@@ -22,6 +23,8 @@
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -29,18 +32,23 @@ import (
 
 	"tdcache/internal/analysis/detrand"
 	"tdcache/internal/analysis/driver"
+	"tdcache/internal/analysis/floatcmp"
 	"tdcache/internal/analysis/framework"
 	"tdcache/internal/analysis/mapiter"
 	"tdcache/internal/analysis/resetcheck"
 	"tdcache/internal/analysis/sweeppure"
+	"tdcache/internal/analysis/unitflow"
 )
 
-// analyzers is the determinism suite, in reporting order.
+// analyzers is the full suite — the four determinism rules plus the
+// two physical-correctness rules — in reporting order.
 var analyzers = []*framework.Analyzer{
 	detrand.Analyzer,
+	floatcmp.Analyzer,
 	mapiter.Analyzer,
 	resetcheck.Analyzer,
 	sweeppure.Analyzer,
+	unitflow.Analyzer,
 }
 
 func main() {
@@ -65,54 +73,153 @@ func main() {
 		return
 	}
 
-	if len(args) == 0 {
-		fmt.Fprintf(os.Stderr, "usage: %s ./... | %s <pkg-dir>... (run from inside the module)\n", progname, progname)
-		os.Exit(2)
-	}
 	standalone(args)
 }
 
+// finding is the machine-readable form of one diagnostic: file is
+// module-root-relative so baselines are stable across checkouts.
+type finding struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+// key identifies a finding for baseline matching. Line and column are
+// deliberately excluded so unrelated edits that shift a suppressed
+// legacy finding do not break the baseline.
+func (f finding) key() string { return f.Rule + "\x00" + f.File + "\x00" + f.Message }
+
 // standalone loads packages from directory patterns and reports every
-// surviving finding, exiting 1 if there are any.
-func standalone(patterns []string) {
+// surviving finding, exiting 1 if any is not covered by the baseline.
+func standalone(args []string) {
+	fs := flag.NewFlagSet("tdcache-lint", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout")
+	baselineFile := fs.String("baseline", "", "JSON findings file; only findings absent from it fail the run")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [-json] [-baseline file] ./... (run from inside the module)\n", fs.Name())
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	baseline := make(map[string]int)
+	if *baselineFile != "" {
+		var err error
+		baseline, err = loadBaseline(*baselineFile)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
 	cwd, err := os.Getwd()
 	if err != nil {
 		fatal(err)
 	}
-	root, err := driver.FindModuleRoot(cwd)
+	findings, err := collect(cwd, patterns)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fatal(err)
+		}
+	}
+	fresh := filterNew(findings, baseline)
+	if !*jsonOut {
+		for _, f := range fresh {
+			fmt.Printf("%s:%d:%d: [%s] %s\n", f.File, f.Line, f.Col, f.Rule, f.Message)
+		}
+	}
+	if len(fresh) > 0 {
+		fmt.Fprintf(os.Stderr, "tdcache-lint: %d new finding(s)\n", len(fresh))
+		os.Exit(1)
+	}
+}
+
+// loadBaseline reads a -json findings file into a key multiset.
+func loadBaseline(path string) (map[string]int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var old []finding
+	if err := json.Unmarshal(data, &old); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	baseline := make(map[string]int)
+	for _, f := range old {
+		baseline[f.key()]++
+	}
+	return baseline, nil
+}
+
+// collect runs the full suite over the patterns (resolved against the
+// module containing dir) and returns every finding with module-root-
+// relative file paths. The result is never nil, so it always encodes
+// as a JSON array.
+func collect(dir string, patterns []string) ([]finding, error) {
+	root, err := driver.FindModuleRoot(dir)
+	if err != nil {
+		return nil, err
 	}
 	loader, err := driver.NewModuleLoader(root)
 	if err != nil {
-		fatal(err)
+		return nil, err
 	}
 	paths, err := loader.Expand(patterns)
 	if err != nil {
-		fatal(err)
+		return nil, err
 	}
-	findings := 0
+	findings := []finding{}
 	for _, path := range paths {
 		if skipPath(path) {
 			continue
 		}
 		pkg, err := loader.Load(path)
 		if err != nil {
-			fatal(err)
+			return nil, err
 		}
-		diags, err := driver.Run(analyzers, pkg, loader.Fset)
+		diags, err := driver.Run(analyzers, pkg, loader.Context())
 		if err != nil {
-			fatal(err)
+			return nil, err
 		}
 		for _, d := range diags {
-			fmt.Println(d.String(loader.Fset))
-			findings++
+			pos := loader.Fset.Position(d.Pos)
+			file := pos.Filename
+			if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = filepath.ToSlash(rel)
+			}
+			findings = append(findings, finding{
+				Rule: d.Rule, File: file, Line: pos.Line, Col: pos.Column, Message: d.Message,
+			})
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "tdcache-lint: %d finding(s)\n", findings)
-		os.Exit(1)
+	return findings, nil
+}
+
+// filterNew returns the findings not absorbed by the baseline multiset
+// (each baseline entry suppresses at most one identical finding).
+func filterNew(findings []finding, baseline map[string]int) []finding {
+	fresh := []finding{}
+	for _, f := range findings {
+		if n := baseline[f.key()]; n > 0 {
+			baseline[f.key()] = n - 1
+			continue
+		}
+		fresh = append(fresh, f)
 	}
+	return fresh
 }
 
 // skipPath excludes the analyzers' own testdata-shaped fixtures; the

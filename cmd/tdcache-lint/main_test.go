@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"tdcache/internal/analysis/driver"
@@ -29,12 +32,90 @@ func TestRepositoryIsLintClean(t *testing.T) {
 		if err != nil {
 			t.Fatalf("loading %s: %v", path, err)
 		}
-		diags, err := driver.Run(analyzers, pkg, loader.Fset)
+		diags, err := driver.Run(analyzers, pkg, loader.Context())
 		if err != nil {
 			t.Fatalf("running suite on %s: %v", path, err)
 		}
 		for _, d := range diags {
 			t.Errorf("%s", d.String(loader.Fset))
 		}
+	}
+}
+
+// TestCollectMatchesCheckedInBaseline is the -json / -baseline
+// contract: a full-repo collect must produce a finding list that
+// round-trips through JSON and is fully absorbed by the checked-in
+// (empty) baseline — i.e. CI's machine-readable lane agrees with the
+// human one above.
+func TestCollectMatchesCheckedInBaseline(t *testing.T) {
+	findings, err := collect(".", []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(findings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []finding
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("-json output does not round-trip: %v", err)
+	}
+	if len(back) != len(findings) {
+		t.Fatalf("round-trip lost findings: %d != %d", len(back), len(findings))
+	}
+
+	root, err := driver.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := loadBaseline(filepath.Join(root, "cmd/tdcache-lint/baseline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range filterNew(findings, baseline) {
+		t.Errorf("finding not covered by baseline: %s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Rule, f.Message)
+	}
+}
+
+// TestBaselineFiltering pins the suppression-diff semantics: matching
+// is by (rule, file, message) — line/column shifts do not un-suppress —
+// and each baseline entry absorbs exactly one occurrence.
+func TestBaselineFiltering(t *testing.T) {
+	old := []finding{
+		{Rule: "unitflow", File: "a.go", Line: 10, Col: 2, Message: "magic scale factor"},
+		{Rule: "floatcmp", File: "b.go", Line: 3, Col: 9, Message: "float == comparison"},
+	}
+	data, err := json.Marshal(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := loadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	now := []finding{
+		// Same finding, shifted by an unrelated edit: suppressed.
+		{Rule: "unitflow", File: "a.go", Line: 42, Col: 7, Message: "magic scale factor"},
+		// Second occurrence of a baselined single occurrence: new.
+		{Rule: "floatcmp", File: "b.go", Line: 3, Col: 9, Message: "float == comparison"},
+		{Rule: "floatcmp", File: "b.go", Line: 8, Col: 1, Message: "float == comparison"},
+		// Different rule on a baselined file: new.
+		{Rule: "mapiter", File: "a.go", Line: 10, Col: 2, Message: "map iteration"},
+	}
+	fresh := filterNew(now, baseline)
+	if len(fresh) != 2 {
+		t.Fatalf("filterNew returned %d fresh findings, want 2: %+v", len(fresh), fresh)
+	}
+	if fresh[0].Rule != "floatcmp" || fresh[1].Rule != "mapiter" {
+		t.Errorf("wrong findings survived: %+v", fresh)
+	}
+
+	if got := filterNew(nil, nil); len(got) != 0 {
+		t.Errorf("filterNew(nil, nil) = %+v, want empty", got)
 	}
 }

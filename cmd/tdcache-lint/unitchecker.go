@@ -12,6 +12,7 @@ import (
 	"os"
 
 	"tdcache/internal/analysis/driver"
+	"tdcache/internal/analysis/framework"
 )
 
 // vetConfig is the JSON configuration cmd/go writes for a vet tool,
@@ -129,7 +130,11 @@ func analyzeUnit(cfg *vetConfig) ([]string, error) {
 		return nil, fmt.Errorf("type-checking %s: %w", cfg.ImportPath, err)
 	}
 	pkg := &driver.Package{Path: cfg.ImportPath, Dir: cfg.Dir, Files: files, Types: tpkg, Info: info}
-	diags, err := driver.Run(analyzers, pkg, fset)
+	// Vet mode has no imported-package syntax (export data only), so
+	// Imported stays nil and fact-driven analyzers treat cross-package
+	// declarations as unknown; the standalone CI lane covers those.
+	ctx := &driver.Context{Fset: fset, Facts: framework.NewFactStore()}
+	diags, err := driver.Run(analyzers, pkg, ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -52,7 +52,7 @@ func Run(t *testing.T, dir string, a *framework.Analyzer, pkgPaths ...string) {
 		if err != nil {
 			t.Fatalf("loading %s: %v", path, err)
 		}
-		diags, err := driver.Run([]*framework.Analyzer{a}, pkg, loader.Fset)
+		diags, err := driver.Run([]*framework.Analyzer{a}, pkg, loader.Context())
 		if err != nil {
 			t.Fatalf("running %s on %s: %v", a.Name, path, err)
 		}

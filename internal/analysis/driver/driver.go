@@ -58,6 +58,7 @@ type Loader struct {
 
 	pkgs map[string]*Package
 	std  types.ImporterFrom
+	ctx  *Context
 }
 
 // NewModuleLoader returns a loader for the module rooted at dir (the
@@ -303,17 +304,54 @@ func hasGoFiles(dir string) bool {
 	return false
 }
 
+// Context carries the run-wide state shared by every Run call of one
+// lint invocation: the position table, a window onto imported-package
+// syntax for fact extraction, and the cross-package fact memo.
+type Context struct {
+	Fset *token.FileSet
+	// Imported returns the syntax of an imported package, or nil when
+	// the driver cannot supply it (the vet unitchecker protocol ships
+	// only export data). May itself be nil.
+	Imported func(path string) *framework.PackageSyntax
+	// Facts is the shared cross-package fact memo.
+	Facts *framework.FactStore
+}
+
+// Context returns a run context backed by this loader: imported
+// packages resolve through Load (memoized), so analyzers see the same
+// syntax and type objects the loader produced. The context is created
+// once per loader and reused, keeping the fact store shared across
+// packages.
+func (l *Loader) Context() *Context {
+	if l.ctx == nil {
+		l.ctx = &Context{
+			Fset:  l.Fset,
+			Facts: framework.NewFactStore(),
+			Imported: func(path string) *framework.PackageSyntax {
+				p, err := l.Load(path)
+				if err != nil {
+					return nil
+				}
+				return &framework.PackageSyntax{Files: p.Files, Pkg: p.Types, Info: p.Info}
+			},
+		}
+	}
+	return l.ctx
+}
+
 // Run executes every analyzer over pkg and returns the diagnostics
 // that survive `//lint:allow` suppression, in position order.
-func Run(analyzers []*framework.Analyzer, pkg *Package, fset *token.FileSet) ([]framework.Diagnostic, error) {
+func Run(analyzers []*framework.Analyzer, pkg *Package, ctx *Context) ([]framework.Diagnostic, error) {
 	var diags []framework.Diagnostic
 	sink := func(d framework.Diagnostic) { diags = append(diags, d) }
 	for _, a := range analyzers {
-		pass := framework.NewPass(a, fset, pkg.Files, pkg.Types, pkg.Info, sink)
+		pass := framework.NewPass(a, ctx.Fset, pkg.Files, pkg.Types, pkg.Info, sink)
+		pass.Imported = ctx.Imported
+		pass.Facts = ctx.Facts
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("driver: %s on %s: %w", a.Name, pkg.Path, err)
 		}
 	}
-	sup := framework.CollectSuppressions(fset, pkg.Files)
+	sup := framework.CollectSuppressions(ctx.Fset, pkg.Files)
 	return sup.Filter(diags), nil
 }

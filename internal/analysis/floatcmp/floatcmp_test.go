@@ -1,0 +1,68 @@
+package floatcmp_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"tdcache/internal/analysis/analysistest"
+	"tdcache/internal/analysis/floatcmp"
+	"tdcache/internal/analysis/framework"
+)
+
+func TestFloatcmp(t *testing.T) {
+	analysistest.Run(t, "testdata", floatcmp.Analyzer, "tdcache/internal/core")
+}
+
+// TestTestFilesExempt checks the vet-mode-only path: the go command
+// ships _test.go files to vet tools, and the determinism tests' exact
+// bit-identity comparisons must not be reported. The same comparison
+// in a non-test file of the same package must be.
+func TestTestFilesExempt(t *testing.T) {
+	const body = `package core
+func cmp(a, b float64) bool {
+	x := a * 2
+	return x == b
+}`
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range []string{"prod.go", "prod_test.go"} {
+		src := body
+		if name == "prod_test.go" {
+			src = `package core
+func cmpT(a, b float64) bool {
+	x := a * 2
+	return x == b
+}`
+		}
+		f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{}
+	pkg, err := conf.Check("tdcache/internal/core", fset, files, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diags []framework.Diagnostic
+	pass := framework.NewPass(floatcmp.Analyzer, fset, files, pkg, info,
+		func(d framework.Diagnostic) { diags = append(diags, d) })
+	if err := floatcmp.Analyzer.Run(pass); err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly 1 (prod.go only): %+v", len(diags), diags)
+	}
+	if got := fset.Position(diags[0].Pos).Filename; got != "prod.go" {
+		t.Errorf("diagnostic in %s, want prod.go — _test.go files must be exempt", got)
+	}
+}

@@ -1,0 +1,71 @@
+// Package core is floatcmp testdata; its import path places it inside
+// the analyzer's simulator-package scope.
+package core
+
+// violation: comparing a value produced by runtime arithmetic.
+func computed(a, b float64) bool {
+	x := a * 2
+	return x == b // want `float == comparison`
+}
+
+// violation: comparing a call result.
+func callResult(a float64) bool {
+	return square(a) != 0.5 // want `float != comparison`
+}
+
+func square(a float64) float64 { return a * a }
+
+// violation: a nonzero literal is not the zero sentinel.
+func nonzeroLiteral(a float64) bool {
+	return a == 0.3 // want `float == comparison`
+}
+
+// violation: exact on loop entry, but the back edge carries the
+// multiplication's inexactness to the comparison — the fixed point has
+// to see through the loop.
+func loopCarried(n int, k float64) bool {
+	x := 1.0
+	for i := 0; i < n; i++ {
+		x = x * k
+	}
+	return x == 1.0 // want `float == comparison`
+}
+
+// violation: range-bound values are runtime data.
+func ranged(xs []float64) bool {
+	for _, v := range xs {
+		if v == 0.25 { // want `float == comparison`
+			return true
+		}
+	}
+	return false
+}
+
+// allowed: zero is an IEEE-exact sentinel.
+func zeroSentinel(a float64) bool {
+	return a != 0
+}
+
+// allowed: both operands are provably exact (constants and copies of
+// them, no runtime arithmetic).
+func bothExact() bool {
+	x := 1.5
+	y := x
+	return x == y
+}
+
+// allowed: a conversion of an integer value is exact.
+func intConversion(n int) bool {
+	c := float64(n)
+	return c == 10
+}
+
+// allowed: epsilon helpers declare tolerance semantics by name.
+func almostEqual(a, b float64) bool {
+	return a == b
+}
+
+// allowed: deliberate bit-identity check with a suppression.
+func bitIdentity(a, b float64) bool {
+	return a != b //lint:allow floatcmp determinism check wants bit identity
+}

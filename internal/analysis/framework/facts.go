@@ -1,0 +1,81 @@
+package framework
+
+// Cross-package fact plumbing. Analyzers that derive facts from source
+// annotations (unitflow's //unit: tags) need to see the *syntax* of
+// imported packages, not just their type objects, and they need the
+// derived facts to be shared across the many passes of one lint run so
+// each package's declarations are only parsed once. PackageSyntax is
+// the window a driver provides onto an imported package; FactStore is
+// the shared memo, keyed by types.Object — object identity is stable
+// across passes because the driver type-checks every package in one
+// shared universe.
+
+import (
+	"go/ast"
+	"go/types"
+	"sync"
+)
+
+// PackageSyntax is the source-level view of one loaded package.
+type PackageSyntax struct {
+	// Files are the package's syntax trees, parsed with comments.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info holds the type-checker's results for Files.
+	Info *types.Info
+}
+
+// FactStore memoizes analyzer-derived facts keyed by the declaring
+// types.Object, plus a per-package marker so an analyzer can record
+// "this package's declarations have been scanned" and skip re-scans.
+// It is safe for concurrent use.
+type FactStore struct {
+	mu   sync.Mutex
+	objs map[types.Object]any
+	pkgs map[*types.Package]bool
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{
+		objs: make(map[types.Object]any),
+		pkgs: make(map[*types.Package]bool),
+	}
+}
+
+// Object returns the fact recorded for obj, if any.
+func (s *FactStore) Object(obj types.Object) (any, bool) {
+	if s == nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.objs[obj]
+	return f, ok
+}
+
+// SetObject records a fact for obj.
+func (s *FactStore) SetObject(obj types.Object, fact any) {
+	if s == nil || obj == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.objs[obj] = fact
+}
+
+// MarkPackage records that pkg's declarations have been scanned and
+// reports whether it was already marked.
+func (s *FactStore) MarkPackage(pkg *types.Package) (alreadyMarked bool) {
+	if s == nil || pkg == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pkgs[pkg] {
+		return true
+	}
+	s.pkgs[pkg] = true
+	return false
+}

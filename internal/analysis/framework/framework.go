@@ -43,6 +43,15 @@ type Pass struct {
 	Pkg *types.Package
 	// Info holds the type-checker's results for Files.
 	Info *types.Info
+	// Imported returns the source-level view of an imported package,
+	// for analyzers that extract facts from declaration comments. It
+	// is nil when the driver cannot supply syntax (the go vet
+	// unitchecker protocol only ships export data); analyzers must
+	// degrade gracefully — treat the imported facts as unknown.
+	Imported func(path string) *PackageSyntax
+	// Facts memoizes cross-package facts for the whole lint run; nil
+	// when the driver does not share facts across passes.
+	Facts *FactStore
 	// report receives every diagnostic (before suppression filtering).
 	report func(Diagnostic)
 }

@@ -1,0 +1,238 @@
+package unitflow
+
+// Extraction of declared units from //unit: tags. Declarations are
+// purely syntactic — the tags live in comments, which export data does
+// not carry — so cross-package units are recovered by re-reading the
+// declaring package's syntax through pass.Imported and memoized in the
+// run-wide FactStore keyed by types.Object. Object identity is shared
+// across the whole lint run (one type universe per driver), so a unit
+// extracted while analyzing internal/circuit is found again when
+// internal/power looks up circuit.Tech.Vdd.
+//
+// Tag grammar, all forms prefixed //unit: with no space:
+//
+//	//unit:<unit-expr>              on a const, var, or struct field
+//	                                (doc comment or trailing comment);
+//	                                in a function's doc block: the
+//	                                result unit
+//	//unit:param <name> <unit-expr> in a function's doc block
+//	//unit:result <unit-expr>       in a function's doc block
+//
+// A unit-expr follows ParseUnit's grammar. A tag on a []float64
+// declaration describes the element unit; a result tag applies to all
+// float results of the function.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// funcUnits is the declared signature units of one function.
+type funcUnits struct {
+	params map[string]Unit // by parameter name
+	result Unit
+}
+
+const tagPrefix = "//unit:"
+
+// tagError records a malformed tag found during extraction; reported
+// only when the declaring package is the one being analyzed.
+type tagError struct {
+	pos token.Pos
+	msg string
+}
+
+// declIndex holds the units extracted from one package's syntax.
+type declIndex struct {
+	objs   map[types.Object]Unit
+	funcs  map[types.Object]*funcUnits
+	tagged bool // package declares at least one tag
+	errs   []tagError
+}
+
+// extract scans a package's files for //unit: tags and indexes them by
+// the declaring object.
+func extract(files []*ast.File, info *types.Info) *declIndex {
+	ix := &declIndex{
+		objs:  make(map[types.Object]Unit),
+		funcs: make(map[types.Object]*funcUnits),
+	}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				ix.funcDecl(d, info)
+			case *ast.GenDecl:
+				ix.genDecl(d, info)
+			}
+		}
+	}
+	return ix
+}
+
+// tagPayload extracts the unit expression from a tag comment,
+// dropping any trailing "//"-introduced commentary.
+func tagPayload(c *ast.Comment) string {
+	body := strings.TrimPrefix(c.Text, tagPrefix)
+	if i := strings.Index(body, "//"); i >= 0 {
+		body = body[:i]
+	}
+	return strings.TrimSpace(body)
+}
+
+// tagLines returns the //unit: payloads of a comment group.
+func tagLines(groups ...*ast.CommentGroup) []*ast.Comment {
+	var out []*ast.Comment
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			if strings.HasPrefix(c.Text, tagPrefix) {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+func (ix *declIndex) parse(c *ast.Comment, expr string) (Unit, bool) {
+	u, err := ParseUnit(expr)
+	if err != nil {
+		ix.errs = append(ix.errs, tagError{pos: c.Pos(), msg: err.Error()})
+		return Unknown, false
+	}
+	ix.tagged = true
+	return u, true
+}
+
+func (ix *declIndex) funcDecl(d *ast.FuncDecl, info *types.Info) {
+	tags := tagLines(d.Doc)
+	if len(tags) == 0 {
+		return
+	}
+	fu := &funcUnits{params: make(map[string]Unit), result: Unknown}
+	for _, c := range tags {
+		body := tagPayload(c)
+		fields := strings.Fields(body)
+		switch {
+		case len(fields) == 3 && fields[0] == "param":
+			if u, ok := ix.parse(c, fields[2]); ok {
+				if !paramNamed(d.Type, fields[1]) {
+					ix.errs = append(ix.errs, tagError{pos: c.Pos(),
+						msg: "unit tag names unknown parameter " + fields[1]})
+					continue
+				}
+				fu.params[fields[1]] = u
+			}
+		case len(fields) == 2 && fields[0] == "result":
+			if u, ok := ix.parse(c, fields[1]); ok {
+				fu.result = u
+			}
+		case len(fields) == 1 && fields[0] != "param" && fields[0] != "result":
+			if u, ok := ix.parse(c, fields[0]); ok {
+				fu.result = u
+			}
+		default:
+			ix.errs = append(ix.errs, tagError{pos: c.Pos(),
+				msg: "malformed unit tag; want //unit:<expr>, //unit:param <name> <expr>, or //unit:result <expr>"})
+		}
+	}
+	obj := info.Defs[d.Name]
+	if obj == nil {
+		return
+	}
+	ix.funcs[obj] = fu
+	// Index the parameter and named-result objects too, so the
+	// intraprocedural pass seeds and checks them directly.
+	forEachFieldName(d.Type.Params, func(name *ast.Ident) {
+		if u, ok := fu.params[name.Name]; ok {
+			if pobj := info.Defs[name]; pobj != nil {
+				ix.objs[pobj] = u
+			}
+		}
+	})
+	if fu.result != Unknown {
+		forEachFieldName(d.Type.Results, func(name *ast.Ident) {
+			if robj := info.Defs[name]; robj != nil && isFloatish(robj.Type()) {
+				ix.objs[robj] = fu.result
+			}
+		})
+	}
+}
+
+func paramNamed(ft *ast.FuncType, name string) bool {
+	found := false
+	forEachFieldName(ft.Params, func(id *ast.Ident) {
+		if id.Name == name {
+			found = true
+		}
+	})
+	return found
+}
+
+func forEachFieldName(fl *ast.FieldList, fn func(*ast.Ident)) {
+	if fl == nil {
+		return
+	}
+	for _, f := range fl.List {
+		for _, name := range f.Names {
+			fn(name)
+		}
+	}
+}
+
+func (ix *declIndex) genDecl(d *ast.GenDecl, info *types.Info) {
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.ValueSpec:
+			tags := tagLines(s.Doc, s.Comment)
+			if len(tags) == 0 && len(d.Specs) == 1 {
+				tags = tagLines(d.Doc)
+			}
+			for _, c := range tags {
+				expr := tagPayload(c)
+				if u, ok := ix.parse(c, expr); ok {
+					for _, name := range s.Names {
+						if obj := info.Defs[name]; obj != nil {
+							ix.objs[obj] = u
+						}
+					}
+				}
+			}
+		case *ast.TypeSpec:
+			st, ok := s.Type.(*ast.StructType)
+			if !ok {
+				continue
+			}
+			for _, field := range st.Fields.List {
+				for _, c := range tagLines(field.Doc, field.Comment) {
+					expr := tagPayload(c)
+					if u, ok := ix.parse(c, expr); ok {
+						for _, name := range field.Names {
+							if obj := info.Defs[name]; obj != nil {
+								ix.objs[obj] = u
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// isFloatish reports whether t is float-valued for unit purposes:
+// a float scalar or a slice/array of one.
+func isFloatish(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&types.IsFloat != 0
+	case *types.Slice:
+		return isFloatish(u.Elem())
+	case *types.Array:
+		return isFloatish(u.Elem())
+	}
+	return false
+}

@@ -1,0 +1,379 @@
+package unitflow
+
+// The expression evaluator: computes the unit of an expression under
+// the current facts, reporting provable violations along the way
+// (when the problem's report flag is set). Function literals are never
+// descended into — they are separate flow problems.
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"tdcache/internal/analysis/framework"
+)
+
+func identExprs(ids []*ast.Ident) []ast.Expr {
+	out := make([]ast.Expr, len(ids))
+	for i, id := range ids {
+		out[i] = id
+	}
+	return out
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// isNumeric reports whether e has a numeric (or untyped numeric) type.
+func (p *flowProblem) isNumeric(e ast.Expr) bool {
+	tv, ok := p.w.pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsNumeric != 0
+}
+
+// isIntegerTyped reports whether e's type is an integer kind (used for
+// conversions: float64(count) yields a dimensionless value).
+func (p *flowProblem) isIntegerTyped(e ast.Expr) bool {
+	tv, ok := p.w.pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// eval computes the unit of e under facts.
+func (p *flowProblem) eval(e ast.Expr, facts *framework.Facts[Unit]) Unit {
+	info := p.w.pass.Info
+	switch x := e.(type) {
+	case nil:
+		return Unknown
+	case *ast.ParenExpr:
+		return p.eval(x.X, facts)
+	case *ast.BasicLit:
+		if x.Kind == token.INT || x.Kind == token.FLOAT || x.Kind == token.IMAG {
+			return Poly
+		}
+		return Unknown
+	case *ast.Ident:
+		return p.identUnit(x, facts)
+	case *ast.SelectorExpr:
+		// Evaluate the receiver side for nested checks (f().Field).
+		p.eval(x.X, facts)
+		obj := info.Uses[x.Sel]
+		if u := p.w.unitOf(obj); u.Concrete() {
+			return u
+		}
+		if _, isConst := obj.(*types.Const); isConst {
+			return Poly
+		}
+		return Unknown
+	case *ast.IndexExpr:
+		u := p.eval(x.X, facts)
+		p.eval(x.Index, facts)
+		if u.Concrete() {
+			return u // a tag on a slice/map declares the element unit
+		}
+		return Unknown
+	case *ast.SliceExpr:
+		u := p.eval(x.X, facts)
+		p.eval(x.Low, facts)
+		p.eval(x.High, facts)
+		p.eval(x.Max, facts)
+		return u
+	case *ast.StarExpr:
+		return p.eval(x.X, facts)
+	case *ast.UnaryExpr:
+		u := p.eval(x.X, facts)
+		if x.Op == token.SUB || x.Op == token.ADD {
+			return u
+		}
+		return Unknown
+	case *ast.BinaryExpr:
+		return p.binary(x, facts)
+	case *ast.CallExpr:
+		return p.call(x, facts)
+	case *ast.CompositeLit:
+		p.composite(x, facts)
+		return Unknown
+	case *ast.TypeAssertExpr:
+		p.eval(x.X, facts)
+		return Unknown
+	case *ast.FuncLit:
+		return Unknown // analyzed as its own flow problem
+	case *ast.KeyValueExpr:
+		p.eval(x.Value, facts)
+		return Unknown
+	default:
+		return Unknown
+	}
+}
+
+func (p *flowProblem) identUnit(id *ast.Ident, facts *framework.Facts[Unit]) Unit {
+	obj := framework.ObjectOf(p.w.pass.Info, id)
+	if obj == nil {
+		return Unknown
+	}
+	if u, ok := facts.Get(obj); ok {
+		return u
+	}
+	if u := p.w.unitOf(obj); u.Concrete() {
+		return u
+	}
+	if _, isConst := obj.(*types.Const); isConst {
+		return Poly // untagged constant: unit polymorphic
+	}
+	return Unknown
+}
+
+// addUnits combines units under +/-/comparison after the mismatch
+// check: equal survives, Poly adopts, anything else decays.
+func addUnits(a, b Unit) Unit {
+	switch {
+	case a == Unknown || b == Unknown:
+		return Unknown
+	case a == Poly:
+		return b
+	case b == Poly:
+		return a
+	case a == b:
+		return a
+	default:
+		return Unknown // mismatch (already reported)
+	}
+}
+
+// checkSameUnit reports a provable mixed-unit operation.
+func (p *flowProblem) checkSameUnit(at ast.Node, a, b Unit, op string) {
+	if a.Concrete() && b.Concrete() && a != b {
+		p.reportf(at, "unit mismatch: %s %s %s", a, op, b)
+	}
+}
+
+func (p *flowProblem) binary(x *ast.BinaryExpr, facts *framework.Facts[Unit]) Unit {
+	lu := p.eval(x.X, facts)
+	ru := p.eval(x.Y, facts)
+	if !p.isNumeric(x.X) && !p.isNumeric(x.Y) {
+		return Unknown
+	}
+	switch x.Op {
+	case token.ADD, token.SUB:
+		p.checkSameUnit(x, lu, ru, x.Op.String())
+		return addUnits(lu, ru)
+	case token.MUL:
+		p.scaleCheckPair(x.X, lu, x.Y, ru)
+		return Mul(lu, ru)
+	case token.QUO:
+		p.scaleCheckPair(x.X, lu, x.Y, ru)
+		return Div(lu, ru)
+	case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+		p.checkSameUnit(x, lu, ru, x.Op.String())
+		return Unknown // boolean
+	default:
+		return Unknown
+	}
+}
+
+// scaleCheckPair flags a bare power-of-ten literal multiplied into or
+// divided against a value with a real (non-dimensionless) unit: that
+// is a unit conversion hiding as arithmetic, and it must go through a
+// named constant from internal/circuit/units.go so the conversion
+// itself carries a unit.
+func (p *flowProblem) scaleCheckPair(x ast.Expr, xu Unit, y ast.Expr, yu Unit) {
+	p.checkScaleLiteral(x, yu)
+	p.checkScaleLiteral(y, xu)
+}
+
+// scaleCheck is the compound-assignment form (x *= 1e6).
+func (p *flowProblem) scaleCheck(rhs ast.Expr, lhsUnit Unit) {
+	p.checkScaleLiteral(rhs, lhsUnit)
+}
+
+func (p *flowProblem) checkScaleLiteral(lit ast.Expr, otherUnit Unit) {
+	if !otherUnit.Concrete() || otherUnit == Dimensionless {
+		return
+	}
+	e := unparen(lit)
+	if u, ok := e.(*ast.UnaryExpr); ok && (u.Op == token.SUB || u.Op == token.ADD) {
+		e = unparen(u.X)
+	}
+	bl, ok := e.(*ast.BasicLit)
+	if !ok || (bl.Kind != token.INT && bl.Kind != token.FLOAT) {
+		return
+	}
+	tv, ok := p.w.pass.Info.Types[bl]
+	if !ok || tv.Value == nil {
+		return
+	}
+	v, _ := constant.Float64Val(constant.ToFloat(tv.Value))
+	if v < 0 {
+		v = -v
+	}
+	if k, isPow10 := pow10Exponent(v); isPow10 && (k >= 3 || k <= -3) {
+		p.reportf(bl, "magic scale factor %s against a %s value; use a named conversion constant (internal/circuit/units.go)",
+			bl.Value, otherUnit)
+	}
+}
+
+// call evaluates a call or conversion.
+func (p *flowProblem) call(x *ast.CallExpr, facts *framework.Facts[Unit]) Unit {
+	info := p.w.pass.Info
+	// Conversion?
+	if tv, ok := info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+		arg := x.Args[0]
+		u := p.eval(arg, facts)
+		if isFloatish(tv.Type) {
+			if p.isIntegerTyped(arg) {
+				return Dimensionless // float64(count)
+			}
+			return u
+		}
+		return Unknown
+	}
+	fun := unparen(x.Fun)
+	// Evaluate the callee expression once: a method's receiver chain or
+	// an f()() shape can itself contain violations. A bare identifier
+	// has nothing to check.
+	if _, isIdent := fun.(*ast.Ident); !isIdent {
+		p.eval(fun, facts)
+	}
+	// Evaluate arguments (and nested calls).
+	argUnits := make([]Unit, len(x.Args))
+	for i, a := range x.Args {
+		argUnits[i] = p.eval(a, facts)
+	}
+	// append(slice, ...) keeps the slice's unit.
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := framework.ObjectOf(info, id).(*types.Builtin); ok {
+			if b.Name() == "append" && len(argUnits) > 0 {
+				return argUnits[0]
+			}
+			return Unknown
+		}
+	}
+	callee := calleeFunc(info, fun)
+	fu := p.w.funcUnitsOf(callee)
+	if fu == nil {
+		return Unknown
+	}
+	sig, _ := callee.Type().(*types.Signature)
+	if sig != nil {
+		for i, a := range x.Args {
+			pi := i
+			if pi >= sig.Params().Len() {
+				if !sig.Variadic() {
+					break
+				}
+				pi = sig.Params().Len() - 1
+			}
+			want, ok := fu.params[sig.Params().At(pi).Name()]
+			if !ok {
+				continue
+			}
+			got := argUnits[i]
+			if want.Concrete() && got.Concrete() && want != got {
+				p.reportf(a, "argument %s to %s has unit %s, declared //unit:param %s",
+					sig.Params().At(pi).Name(), callee.Name(), got, want)
+			}
+		}
+	}
+	if fu.result.Concrete() {
+		return fu.result
+	}
+	return Unknown
+}
+
+func calleeFunc(info *types.Info, fun ast.Expr) *types.Func {
+	switch f := fun.(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[f].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[f.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// composite checks struct-literal elements against field tags.
+func (p *flowProblem) composite(x *ast.CompositeLit, facts *framework.Facts[Unit]) {
+	info := p.w.pass.Info
+	tv, ok := info.Types[x]
+	var st *types.Struct
+	if ok && tv.Type != nil {
+		t := tv.Type
+		if ptr, isPtr := t.Underlying().(*types.Pointer); isPtr {
+			t = ptr.Elem()
+		}
+		st, _ = t.Underlying().(*types.Struct)
+	}
+	for i, elt := range x.Elts {
+		if kv, isKV := elt.(*ast.KeyValueExpr); isKV {
+			u := p.eval(kv.Value, facts)
+			if key, isIdent := kv.Key.(*ast.Ident); isIdent && st != nil {
+				if fobj := info.Uses[key]; fobj != nil {
+					p.checkDeclared(kv.Value, p.w.unitOf(fobj), u, "field "+key.Name)
+				}
+			}
+			continue
+		}
+		u := p.eval(elt, facts)
+		if st != nil && i < st.NumFields() {
+			f := st.Field(i)
+			p.checkDeclared(elt, p.w.unitOf(f), u, "field "+f.Name())
+		}
+	}
+}
+
+// checkDeclared reports a value whose inferred unit contradicts the
+// declaration it is being stored into.
+func (p *flowProblem) checkDeclared(at ast.Node, declared, got Unit, what string) {
+	if declared.Concrete() && got.Concrete() && declared != got {
+		p.reportf(at, "%s value assigned to %s declared //unit:%s", got, what, declared)
+	}
+}
+
+// store records the unit flowing into an lvalue: locals get facts,
+// declared targets (params, tagged fields/vars) get checked.
+func (p *flowProblem) store(lhs ast.Expr, u Unit, facts *framework.Facts[Unit]) {
+	info := p.w.pass.Info
+	switch lv := unparen(lhs).(type) {
+	case *ast.Ident:
+		if lv.Name == "_" {
+			return
+		}
+		obj := framework.ObjectOf(info, lv)
+		if obj == nil {
+			return
+		}
+		if d := p.w.unitOf(obj); d.Concrete() {
+			p.checkDeclared(lhs, d, u, lv.Name)
+			facts.Set(obj, d) // the declaration wins
+			return
+		}
+		facts.Set(obj, u)
+	case *ast.SelectorExpr:
+		p.eval(lv.X, facts)
+		if fobj := info.Uses[lv.Sel]; fobj != nil {
+			p.checkDeclared(lhs, p.w.unitOf(fobj), u, lv.Sel.Name)
+		}
+	case *ast.IndexExpr:
+		cu := p.eval(lv.X, facts)
+		p.eval(lv.Index, facts)
+		p.checkDeclared(lhs, cu, u, "element")
+	case *ast.StarExpr:
+		du := p.eval(lv.X, facts)
+		p.checkDeclared(lhs, du, u, "pointee")
+	}
+}

@@ -1,0 +1,73 @@
+// Package phys is unitflow testdata: a miniature of the repository's
+// circuit layer with //unit: tags on its public float surface.
+package phys
+
+// SecondsToMicro converts seconds to microseconds.
+const SecondsToMicro = 1e6 //unit:microseconds/seconds
+
+// Epsilon is a tolerance ratio.
+const Epsilon = 1e-9 //unit:dimensionless
+
+// Vdd is the supply voltage.
+var Vdd = 0.9 //unit:volts
+
+const badTagged = 3.0 //unit:sec^x // want `bad exponent`
+
+// Cell is a storage cell's electrical summary.
+type Cell struct {
+	Retention float64 //unit:seconds
+	Threshold float64 //unit:volts
+	Area      float64 // want `exported field Cell.Area is a float quantity and needs a //unit: tag`
+}
+
+// Drain is the voltage decay rate of the cell.
+//
+//unit:param margin volts
+//unit:param retention seconds
+//unit:result volts/seconds
+func Drain(margin, retention float64) float64 {
+	return margin / retention
+}
+
+// RetentionTime composes cleanly: volts / (volts/seconds) = seconds.
+//
+//unit:param margin volts
+//unit:result seconds
+func RetentionTime(c Cell, margin float64) float64 {
+	rate := Drain(margin, c.Retention)
+	return (c.Threshold - margin) / rate
+}
+
+// Bad1 adds a time to a voltage.
+//
+//unit:result seconds
+func Bad1(c Cell) float64 {
+	return c.Retention + c.Threshold // want `unit mismatch: seconds \+ volts`
+}
+
+// Bad2 returns a rate from a function declared to return a time.
+//
+//unit:result seconds
+func Bad2(c Cell) float64 {
+	return c.Threshold / c.Retention // want `returning volts/seconds value from a function declared //unit:seconds`
+}
+
+// Bad3 hides a unit conversion in a bare power-of-ten literal.
+//
+//unit:param t seconds
+//unit:result seconds
+func Bad3(t float64) float64 {
+	return t * 1e6 // want `magic scale factor 1e6 against a seconds value`
+}
+
+// Cmp compares values of different units.
+//
+//unit:param v volts
+//unit:param t seconds
+func Cmp(v, t float64) bool {
+	return v < t // want `unit mismatch: volts < seconds`
+}
+
+func Scale(x float64) float64 { // want `exported Scale: float parameter x needs a //unit:param tag` `exported Scale: float result needs a //unit:result tag`
+	return x * 2
+}

@@ -1,0 +1,38 @@
+// Package use is unitflow testdata for cross-package propagation: it
+// declares no tags of its own, so every diagnostic below comes from
+// units recovered out of package phys through the fact store.
+package use
+
+import "uf/phys"
+
+// Mix receives a seconds value from a cross-package call and adds a
+// voltage to it.
+func Mix(c phys.Cell, margin float64) float64 {
+	t := phys.RetentionTime(c, margin)
+	return t + phys.Vdd // want `unit mismatch: seconds \+ volts`
+}
+
+// WrongArg swaps Drain's arguments.
+func WrongArg(c phys.Cell) float64 {
+	return phys.Drain(c.Retention, c.Threshold) // want `argument margin to Drain has unit seconds, declared //unit:param volts` `argument retention to Drain has unit volts, declared //unit:param seconds`
+}
+
+// Compose is clean cross-package composition: seconds times a tagged
+// conversion constant yields microseconds, and dividing two of those
+// yields a dimensionless ratio.
+func Compose(a, b phys.Cell) float64 {
+	ua := a.Retention * phys.SecondsToMicro
+	ub := b.Retention * phys.SecondsToMicro
+	return ua/ub + phys.Epsilon
+}
+
+// Build assigns a voltage to a field declared in seconds.
+func Build(c phys.Cell) phys.Cell {
+	return phys.Cell{Retention: c.Threshold} // want `volts value assigned to field Retention declared //unit:seconds`
+}
+
+// Allowed demonstrates an accepted suppression: the bare 1e6 would be
+// a magic-scale finding, but the comment takes responsibility for it.
+func Allowed(c phys.Cell) float64 {
+	return c.Retention * 1e6 //lint:allow unitflow this output column is documented as microseconds
+}

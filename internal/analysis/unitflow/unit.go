@@ -1,0 +1,277 @@
+// Package unitflow checks physical-unit discipline across the
+// circuit/power/variation/montecarlo stack. Units are declared with
+// //unit: doc-tags (see the tag grammar in README.md); the analyzer
+// propagates them through assignments, arithmetic, and calls with the
+// framework's dataflow layer, and reports mixing, magic scale factors,
+// and untagged public float APIs.
+package unitflow
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Unit is a lattice element: either a concrete unit in canonical form
+// or one of the two non-concrete values below. Concrete units are a
+// product of base-dimension powers rendered as a canonical string
+// ("seconds", "volts/seconds", "micrometers^2", "1" for
+// dimensionless), so comparing two Units is comparing dimensions.
+type Unit string
+
+const (
+	// Unknown means no information: a value from an untagged function,
+	// an unannotated variable, a non-numeric expression. Unknown is
+	// non-infectious for diagnostics — nothing provable, nothing
+	// reported.
+	Unknown Unit = "?"
+	// Poly marks untyped constants (literals, untagged consts), which
+	// are unit-polymorphic: 0.5 * seconds is seconds, margin + 0.05
+	// keeps margin's unit.
+	Poly Unit = "~"
+	// Dimensionless is the concrete empty product: ratios, factors,
+	// counts.
+	Dimensionless Unit = "1"
+)
+
+// Concrete reports whether u is an actual unit (dimensionless counts).
+func (u Unit) Concrete() bool { return u != Unknown && u != Poly }
+
+// String renders u for diagnostics.
+func (u Unit) String() string {
+	switch u {
+	case Unknown:
+		return "unknown"
+	case Poly:
+		return "untyped"
+	case Dimensionless:
+		return "dimensionless"
+	}
+	return string(u)
+}
+
+// derived maps units that normalize to products of other bases, so
+// dimensional identities hold by construction: a watt is a joule per
+// second, a hertz is an inverse second. Prefixed units (nanoseconds,
+// gigahertz, ...) are deliberately independent bases — bridging them
+// to their SI parent is exactly the job of the named conversion
+// constants in internal/circuit/units.go, and keeping them distinct is
+// what makes a forgotten conversion a type error.
+var derived = map[string]map[string]int{
+	"watts": {"joules": 1, "seconds": -1},
+	"hertz": {"seconds": -1},
+}
+
+// ParseUnit parses a //unit: tag expression:
+//
+//	expr = term { ("*" | "/") term }
+//	term = "1" | name [ "^" int ]
+//
+// "dimensionless" is an alias for "1". The result is canonical.
+func ParseUnit(s string) (Unit, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Unknown, fmt.Errorf("empty unit expression")
+	}
+	dims := make(map[string]int)
+	sign := 1
+	for i, part := range splitKeepOps(s) {
+		switch part {
+		case "*":
+			if i == 0 {
+				return Unknown, fmt.Errorf("unit expression %q starts with an operator", s)
+			}
+			sign = +1
+			continue
+		case "/":
+			if i == 0 {
+				return Unknown, fmt.Errorf("unit expression %q starts with an operator", s)
+			}
+			sign = -1
+			continue
+		}
+		name, exp, err := parseTerm(part)
+		if err != nil {
+			return Unknown, fmt.Errorf("unit expression %q: %v", s, err)
+		}
+		if name == "1" {
+			continue
+		}
+		if name == "dimensionless" {
+			continue
+		}
+		if base, ok := derived[name]; ok {
+			for b, e := range base {
+				dims[b] += sign * exp * e
+			}
+		} else {
+			dims[name] += sign * exp
+		}
+	}
+	return canon(dims), nil
+}
+
+// splitKeepOps tokenizes a unit expression into terms and operators.
+func splitKeepOps(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '*' || s[i] == '/' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			out = append(out, string(s[i]))
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+func parseTerm(t string) (name string, exp int, err error) {
+	t = strings.TrimSpace(t)
+	exp = 1
+	if base, pow, ok := strings.Cut(t, "^"); ok {
+		t = strings.TrimSpace(base)
+		exp, err = strconv.Atoi(strings.TrimSpace(pow))
+		if err != nil || exp == 0 {
+			return "", 0, fmt.Errorf("bad exponent %q", pow)
+		}
+	}
+	if t == "1" || t == "dimensionless" {
+		return t, exp, nil
+	}
+	for i, r := range t {
+		alpha := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && !(i > 0 && r >= '0' && r <= '9') {
+			return "", 0, fmt.Errorf("bad unit name %q", t)
+		}
+	}
+	if t == "" {
+		return "", 0, fmt.Errorf("empty unit term")
+	}
+	return t, exp, nil
+}
+
+// canon renders a dimension map as the canonical Unit string: base
+// names sorted, positive exponents first, then a "/" section with the
+// negative exponents (printed positive). The empty product is "1".
+func canon(dims map[string]int) Unit {
+	var pos, neg []string
+	for name, e := range dims {
+		if e == 0 {
+			continue
+		}
+		if e > 0 {
+			pos = append(pos, term(name, e))
+		} else {
+			neg = append(neg, term(name, -e))
+		}
+	}
+	sort.Strings(pos)
+	sort.Strings(neg)
+	switch {
+	case len(pos) == 0 && len(neg) == 0:
+		return Dimensionless
+	case len(neg) == 0:
+		return Unit(strings.Join(pos, "*"))
+	case len(pos) == 0:
+		return Unit("1/" + strings.Join(neg, "/"))
+	default:
+		return Unit(strings.Join(pos, "*") + "/" + strings.Join(neg, "/"))
+	}
+}
+
+func term(name string, e int) string {
+	if e == 1 {
+		return name
+	}
+	return name + "^" + strconv.Itoa(e)
+}
+
+// dimsOf re-parses a canonical Unit into its dimension map. Only valid
+// for concrete units.
+func dimsOf(u Unit) map[string]int {
+	dims := make(map[string]int)
+	if u == Dimensionless {
+		return dims
+	}
+	sign := 1
+	for _, part := range splitKeepOps(string(u)) {
+		switch part {
+		case "*":
+			continue
+		case "/":
+			sign = -1
+			continue
+		}
+		name, exp, err := parseTerm(part)
+		if err != nil || name == "1" {
+			continue
+		}
+		dims[name] += sign * exp
+	}
+	return dims
+}
+
+// Mul combines units under multiplication. Poly (an untyped constant)
+// is transparent; Unknown is absorbing.
+func Mul(a, b Unit) Unit { return combine(a, b, +1) }
+
+// Div combines units under division.
+func Div(a, b Unit) Unit { return combine(a, b, -1) }
+
+func combine(a, b Unit, sign int) Unit {
+	switch {
+	case a == Unknown || b == Unknown:
+		return Unknown
+	case a == Poly && b == Poly:
+		return Poly
+	case a == Poly:
+		a = Dimensionless
+	case b == Poly:
+		b = Dimensionless
+	}
+	dims := dimsOf(a)
+	for name, e := range dimsOf(b) {
+		dims[name] += sign * e
+	}
+	return canon(dims)
+}
+
+// Join is the lattice merge at CFG join points: equal facts survive,
+// Poly defers to a concrete unit, and disagreeing concrete units decay
+// to Unknown (path-dependent units are not reported — only provable
+// same-path mixing is).
+func Join(a, b Unit) Unit {
+	switch {
+	case a == b:
+		return a
+	case a == Poly:
+		return b
+	case b == Poly:
+		return a
+	default:
+		return Unknown
+	}
+}
+
+// pow10Exponent reports whether v is exactly a power of ten 10^k and
+// returns k. Used by the magic-scale-factor rule.
+func pow10Exponent(v float64) (int, bool) {
+	if v <= 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+		return 0, false
+	}
+	k := int(math.Round(math.Log10(v)))
+	if k < -30 || k > 30 {
+		return 0, false
+	}
+	if math.Pow(10, float64(k)) == v {
+		return k, true
+	}
+	return 0, false
+}

@@ -1,0 +1,12 @@
+package unitflow_test
+
+import (
+	"testing"
+
+	"tdcache/internal/analysis/analysistest"
+	"tdcache/internal/analysis/unitflow"
+)
+
+func TestUnitflow(t *testing.T) {
+	analysistest.Run(t, "testdata", unitflow.Analyzer, "uf/phys", "uf/use")
+}

@@ -51,7 +51,7 @@ func summarize(t *testing.T, sc variation.Scenario, n int, deadCycles float64) [
 				}
 			}
 			out[i] = chipSummary{
-				cacheRetNS: minR * 1e9,
+				cacheRetNS: minR * SecondsToNano,
 				deadFrac:   float64(dead) / float64(len(m)),
 				freq1x:     e.SRAMFrequencyFactor(SRAM1X),
 				freq2x:     e.SRAMFrequencyFactor(SRAM2X),
@@ -201,7 +201,7 @@ func TestCalibrationFig4WeakCorner(t *testing.T) {
 		T2: Device{DL: variation.Typical.SigmaLWithin, DVth: variation.Typical.SigmaVth},
 		T3: Device{DL: variation.Typical.SigmaLWithin, DVth: variation.Typical.SigmaVth},
 	}
-	got := Node32.RetentionTime(weak) * 1e6
+	got := Node32.RetentionTime(weak) * SecondsToMicro
 	if got < 3.2 || got > 5.4 {
 		t.Errorf("weak corner retention = %.2f µs, want in [3.2, 5.4]", got)
 	}

@@ -94,6 +94,8 @@ func (e ChipEval) cellDevice(line, cell int, slot uint8, tileX, tileY int) Devic
 // it). It uses a hoisted kernel algebraically identical to
 // Tech.RetentionTime (asserted by tests) because this is the hot path of
 // every Monte-Carlo study.
+//
+//unit:result seconds
 func (e ChipEval) LineRetention(line int) float64 {
 	x0, x1, y := e.Geom.LineTiles(line)
 	p0 := e.tileParams(x0, y)
@@ -128,12 +130,12 @@ func (e ChipEval) LineRetention(line int) float64 {
 // tileParams holds the per-tile (systematic) quantities hoisted out of
 // the per-cell retention kernel.
 type tileParams struct {
-	dL       float64 // gate-length deviation of the tile
-	vthShift float64 // SCE·dL·Vth0, added to every device threshold
+	dL       float64 //unit:dimensionless // gate-length deviation of the tile
+	vthShift float64 //unit:volts // SCE·dL·Vth0, added to every device threshold
 	ln1pdL   float64 // ln(1+dL)
-	invDecay float64 // T0 / (margin0 · (1+dL)^-1), Vth part applied per cell
-	vreqNom  float64 // nominal required storage level
-	overNom  float64 // nominal T2 gate overdrive at the crossing
+	invDecay float64 //unit:seconds/volts // T0 / (margin0 · (1+dL)^-1), Vth part applied per cell
+	vreqNom  float64 //unit:volts // nominal required storage level
+	overNom  float64 //unit:volts // nominal T2 gate overdrive at the crossing
 	lnOver3  float64 // ln of nominal T3 overdrive, for the drive-factor log
 }
 
@@ -160,6 +162,11 @@ func (e ChipEval) tileParams(tx, ty int) tileParams {
 // cellRetention is the hoisted equivalent of Tech.RetentionTime for a
 // cell whose three transistors share a tile corner p and have i.i.d.
 // threshold deviations g1..g3 (already scaled by σVth, as ΔVth/Vth0).
+//
+//unit:param g1 dimensionless
+//unit:param g2 dimensionless
+//unit:param g3 dimensionless
+//unit:result seconds
 func (e ChipEval) cellRetention(p *tileParams, g1, g2, g3 float64) float64 {
 	t := e.Tech
 	// T1: stored level and decay corner.
@@ -188,6 +195,8 @@ func (e ChipEval) cellRetention(p *tileParams, g1, g2, g3 float64) float64 {
 }
 
 // RetentionMap returns the retention time of every line, in seconds.
+//
+//unit:result seconds
 func (e ChipEval) RetentionMap() []float64 {
 	m := make([]float64, e.Geom.Lines)
 	for l := range m {
@@ -200,6 +209,8 @@ func (e ChipEval) RetentionMap() []float64 {
 // scheme: the minimum line retention (§4.3 — "the memory cell with the
 // shortest retention time determines the retention time of the entire
 // structure").
+//
+//unit:result seconds
 func (e ChipEval) CacheRetention() float64 {
 	min := math.Inf(1)
 	for l := 0; l < e.Geom.Lines; l++ {
@@ -214,6 +225,8 @@ func (e ChipEval) CacheRetention() float64 {
 // slowest array access time (seconds) for the given 6T cell variant.
 // This is the exact (sampled) evaluation; SRAMWorstAccessTimeFast is the
 // extreme-value approximation used inside large Monte-Carlo sweeps.
+//
+//unit:result seconds
 func (e ChipEval) SRAMWorstAccessTime(cell SRAM6T) float64 {
 	worst := 0.0
 	for line := 0; line < e.Geom.Lines; line++ {
@@ -243,6 +256,8 @@ func (e ChipEval) SRAMWorstAccessTime(cell SRAM6T) float64 {
 // draws plus a Gumbel fluctuation (hash-seeded per tile so the result is
 // deterministic per chip). Agreement with the exact scan is verified in
 // tests; the fast path makes 1000-chip distribution studies cheap.
+//
+//unit:result seconds
 func (e ChipEval) SRAMWorstAccessTimeFast(cell SRAM6T) float64 {
 	g := e.Geom
 	cellsPerTile := g.Lines / (g.TileCols / 2) / g.TileRows * (g.CellsPerLine + g.TagBits) / 2
@@ -277,6 +292,8 @@ func (e ChipEval) SRAMWorstAccessTimeFast(cell SRAM6T) float64 {
 
 // SRAMFrequencyFactor returns the chip's normalized frequency (≤1) for
 // the given cell variant using the fast worst-cell evaluation.
+//
+//unit:result dimensionless
 func (e ChipEval) SRAMFrequencyFactor(cell SRAM6T) float64 {
 	return FrequencyFactor(e.Tech, e.SRAMWorstAccessTimeFast(cell))
 }
@@ -285,6 +302,8 @@ func (e ChipEval) SRAMFrequencyFactor(cell SRAM6T) float64 {
 // read is pseudo-destructive, computed analytically: the mismatch of the
 // two cross-coupled keepers is N(0, 2·(σVth·Vth0·scale)²) and the cell
 // flips when |mismatch| exceeds the threshold.
+//
+//unit:result dimensionless
 func (e ChipEval) SRAMUnstableFraction(cell SRAM6T) float64 {
 	sigma := e.Chip.Scenario.SigmaVth * e.Tech.Vth0 * cell.VthSigmaScale()
 	if sigma == 0 {
@@ -298,6 +317,8 @@ func (e ChipEval) SRAMUnstableFraction(cell SRAM6T) float64 {
 // cells contains at least one unstable cell — the paper's §2.1 point
 // that 256-bit lines fail with 1-(1-p)^256 probability, which defeats
 // line-level redundancy.
+//
+//unit:result dimensionless
 func (e ChipEval) SRAMLineFailureProbability(cell SRAM6T, n int) float64 {
 	p := e.SRAMUnstableFraction(cell)
 	return 1 - math.Pow(1-p, float64(n))
@@ -306,6 +327,9 @@ func (e ChipEval) SRAMLineFailureProbability(cell SRAM6T, n int) float64 {
 // iidLeakMultiplier is E[exp(-ΔVth·Vth0/s)] over the random-dopant
 // distribution: the lognormal mean shift that i.i.d. Vth noise adds to
 // every chip's leakage.
+//
+//unit:param sigmaScale dimensionless
+//unit:result dimensionless
 func (e ChipEval) iidLeakMultiplier(sigmaScale float64) float64 {
 	s := e.Chip.Scenario.SigmaVth * e.Tech.Vth0 * sigmaScale
 	return math.Exp(s * s / (2 * e.Tech.SubVTSlope * e.Tech.SubVTSlope))
@@ -314,6 +338,8 @@ func (e ChipEval) iidLeakMultiplier(sigmaScale float64) float64 {
 // SRAMLeakageFactor returns the chip's total 6T cache leakage relative
 // to the golden (no-variation) design: the tile-systematic corner factor
 // averaged over the floorplan times the analytic i.i.d. multiplier.
+//
+//unit:result dimensionless
 func (e ChipEval) SRAMLeakageFactor(cell SRAM6T) float64 {
 	sum := 0.0
 	n := 0
@@ -329,6 +355,8 @@ func (e ChipEval) SRAMLeakageFactor(cell SRAM6T) float64 {
 
 // Leakage3T1DFactor returns the chip's 3T1D cache leakage relative to
 // the *golden 6T* design (the Fig. 7 normalization).
+//
+//unit:result dimensionless
 func (e ChipEval) Leakage3T1DFactor() float64 {
 	sum := 0.0
 	n := 0

@@ -9,7 +9,20 @@ package circuit
 // operating point so those studies can be reproduced and extended.
 
 // ReferenceTempC is the paper's simulation temperature (§3.1).
-const ReferenceTempC = 80.0
+const ReferenceTempC = 80.0 //unit:celsius
+
+// LeakageDoublingCelsius is the temperature rise that doubles
+// sub-threshold leakage (the classic DRAM-retention rule of thumb).
+const LeakageDoublingCelsius = 10.0 //unit:celsius
+
+// SlowdownPerCelsius is the mobility-driven drive-current derating:
+// arrays slow by this fraction per degree above the reference point.
+const SlowdownPerCelsius = 0.0005 //unit:1/celsius
+
+// DIBLReferenceVolts is the voltage scale of the DIBL leakage
+// exponential (≈2.5× leakage change per volt of supply swing at these
+// nodes).
+const DIBLReferenceVolts = 2.75 //unit:volts
 
 // AtTemperature returns a copy of the node derated to the given junction
 // temperature (°C):
@@ -21,14 +34,16 @@ const ReferenceTempC = 80.0
 //     temperature, softening the leakage's Vth sensitivity;
 //   - drive current falls mildly with temperature (mobility), slowing
 //     the arrays by ~0.05 %/°C.
+//
+//unit:param celsius celsius
 func (t Tech) AtTemperature(celsius float64) Tech {
 	d := t
 	dT := celsius - ReferenceTempC
-	leakScale := pow(2, dT/10)
+	leakScale := pow(2, dT/LeakageDoublingCelsius)
 	d.LeakagePower6T *= leakScale
 	d.Retention3T1D /= leakScale
 	d.SubVTSlope *= (celsius + 273.15) / (ReferenceTempC + 273.15)
-	slow := 1 + 0.0005*dT
+	slow := 1 + SlowdownPerCelsius*dT
 	if slow < 0.5 {
 		slow = 0.5
 	}
@@ -48,6 +63,8 @@ func (t Tech) AtTemperature(celsius float64) Tech {
 //     observation that "scaling voltage to lower levels also impacts
 //     retention times and degrades performance";
 //   - leakage drops with Vdd through DIBL (≈2.5×/V at these nodes).
+//
+//unit:param vdd volts
 func (t Tech) AtVdd(vdd float64) Tech {
 	d := t
 	if vdd <= t.Vth0+0.05 {
@@ -64,7 +81,7 @@ func (t Tech) AtVdd(vdd float64) Tech {
 	marginRatio := (vdd - t.Vth0) / (t.Vdd - t.Vth0)
 	d.Retention3T1D *= marginRatio * marginRatio
 	// Leakage via DIBL.
-	d.LeakagePower6T *= exp(2.5 * (vdd - t.Vdd) / 2.75)
+	d.LeakagePower6T *= exp(2.5 * (vdd - t.Vdd) / DIBLReferenceVolts)
 	d.Vdd = vdd
 	return d
 }
@@ -74,6 +91,10 @@ func (t Tech) AtVdd(vdd float64) Tech {
 // assumes worstTempC but the silicon runs at runTempC (§4.3.1: "we
 // assume worst-case temperatures to set retention times"). A value
 // below 1 means the counters are conservative at run time.
+//
+//unit:param worstTempC celsius
+//unit:param runTempC celsius
+//unit:result dimensionless
 func RetentionDeratingForTestTemp(worstTempC, runTempC float64) float64 {
-	return pow(2, (runTempC-worstTempC)/10)
+	return pow(2, (runTempC-worstTempC)/LeakageDoublingCelsius)
 }

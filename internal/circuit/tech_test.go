@@ -26,10 +26,10 @@ func TestNodeTableParameters(t *testing.T) {
 			c.tech.OxideNM != c.oxide || c.tech.FreqGHz != c.freq {
 			t.Errorf("%s: Table 1 parameters wrong: %+v", c.tech.Name, c.tech)
 		}
-		if got := c.tech.AccessTime6T * 1e12; math.Abs(got-c.access) > 0.5 {
+		if got := c.tech.AccessTime6T * SecondsToPico; math.Abs(got-c.access) > 0.5 {
 			t.Errorf("%s access time = %vps, want %v", c.tech.Name, got, c.access)
 		}
-		if got := c.tech.LeakagePower6T * 1e3; math.Abs(got-c.leakPwr) > 0.05 {
+		if got := c.tech.LeakagePower6T * WattsToMilli; math.Abs(got-c.leakPwr) > 0.05 {
 			t.Errorf("%s leakage = %vmW, want %v", c.tech.Name, got, c.leakPwr)
 		}
 	}

@@ -37,20 +37,20 @@ func Fig4(p *Params) *Fig4Result {
 		T3: circuit.Device{DL: -sigmaL, DVth: -sigmaV},
 	}
 	r := &Fig4Result{
-		SRAM6TPS:     t.AccessTime6T * 1e12,
-		NominalRetUS: t.RetentionTime(circuit.Nominal3T1D) * 1e6,
-		WeakRetUS:    t.RetentionTime(weak) * 1e6,
-		StrongRetUS:  t.RetentionTime(strong) * 1e6,
+		SRAM6TPS:     t.AccessTime6T * circuit.SecondsToPico,
+		NominalRetUS: t.RetentionTime(circuit.Nominal3T1D) * circuit.SecondsToMicro,
+		WeakRetUS:    t.RetentionTime(weak) * circuit.SecondsToMicro,
+		StrongRetUS:  t.RetentionTime(strong) * circuit.SecondsToMicro,
 	}
 	maxUS := r.StrongRetUS * 1.15
 	steps := 16
 	for i := 0; i <= steps; i++ {
 		us := maxUS * float64(i) / float64(steps)
-		el := us * 1e-6
+		el := us * circuit.MicroToSeconds
 		r.ElapsedUS = append(r.ElapsedUS, us)
-		r.NominalPS = append(r.NominalPS, t.AccessTime3T1D(circuit.Nominal3T1D, el)*1e12)
-		r.WeakPS = append(r.WeakPS, t.AccessTime3T1D(weak, el)*1e12)
-		r.StrongPS = append(r.StrongPS, t.AccessTime3T1D(strong, el)*1e12)
+		r.NominalPS = append(r.NominalPS, t.AccessTime3T1D(circuit.Nominal3T1D, el)*circuit.SecondsToPico)
+		r.WeakPS = append(r.WeakPS, t.AccessTime3T1D(weak, el)*circuit.SecondsToPico)
+		r.StrongPS = append(r.StrongPS, t.AccessTime3T1D(strong, el)*circuit.SecondsToPico)
 	}
 	return r
 }

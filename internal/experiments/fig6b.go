@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"tdcache/internal/circuit"
 	"tdcache/internal/core"
 	"tdcache/internal/montecarlo"
 	"tdcache/internal/stats"
@@ -62,7 +63,7 @@ func Fig6b(p *Params) *Fig6bResult {
 	cyc := p.Tech.CycleSeconds()
 	worstAt := map[string][]float64{}
 	for _, ns := range points {
-		retCycles := int64(ns * 1e-9 / cyc)
+		retCycles := int64(ns * circuit.NanoToSeconds / cyc)
 		spec := cacheSpec{
 			Scheme:    core.Scheme{Refresh: core.RefreshGlobal, Placement: core.PlaceLRU},
 			Retention: core.UniformRetention(1024, retCycles),
@@ -175,8 +176,8 @@ func GlobalRefreshNoVariation(p *Params) *GlobalRefreshResult {
 	}
 	passCycles := float64(1024 / 4 * core.DefaultConfig(core.NoRefreshLRU).RefreshCycles)
 	return &GlobalRefreshResult{
-		RetentionNS:    float64(retCycles) * cyc * 1e9,
-		PassNS:         passCycles * cyc * 1e9,
+		RetentionNS:    float64(retCycles) * cyc * circuit.SecondsToNano,
+		PassNS:         passCycles * cyc * circuit.SecondsToNano,
 		BandwidthFrac:  passCycles / float64(retCycles),
 		NormalizedPerf: norm,
 		GlobalPasses:   passes,

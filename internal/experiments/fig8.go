@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"tdcache/internal/circuit"
 	"tdcache/internal/stats"
 	"tdcache/internal/variation"
 )
@@ -40,7 +41,7 @@ func Fig8(p *Params) *Fig8Result {
 	hist := func(idx int) []float64 {
 		h := stats.NewHistogram(0, 5000, 10)
 		for _, sec := range s.Chips[idx].RetentionSec {
-			h.Add(sec * 1e9)
+			h.Add(sec * circuit.SecondsToNano)
 		}
 		if r.BinCentersNS == nil {
 			for i := range h.Counts {

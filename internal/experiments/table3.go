@@ -71,11 +71,11 @@ func Table3(p *Params) *Table3Result {
 		}
 		meanDyn /= float64(len(p.Benchmarks))
 		hm := stats.HarmonicMean(idealIPC)
-		row.IdealAccessPS = tech.AccessTime6T * 1e12
+		row.IdealAccessPS = tech.AccessTime6T * circuit.SecondsToPico
 		row.IdealBIPS = hm * tech.FreqGHz
-		row.IdealMeanDynMW = meanDyn * 1e3
-		row.IdealFullDynMW = power.FullDynamicPower(tech) * 1e3
-		row.IdealLeakMW = tech.LeakagePower6T * 1e3
+		row.IdealMeanDynMW = meanDyn * circuit.WattsToMilli
+		row.IdealFullDynMW = power.FullDynamicPower(tech) * circuit.WattsToMilli
+		row.IdealLeakMW = tech.LeakagePower6T * circuit.WattsToMilli
 
 		// Median typical-variation chip.
 		study := p.study(variation.Typical, p.DistChips)
@@ -85,16 +85,16 @@ func Table3(p *Params) *Table3Result {
 		// 1X 6T: the whole chip slows to the worst cell's frequency;
 		// IPC is unchanged, so BIPS and dynamic power scale with f.
 		f1 := stats.Quantile(study.Column(func(c *montecarlo.Chip) float64 { return c.Freq1X }), 0.5)
-		row.SRAMAccessPS = tech.AccessTime6T / f1 * 1e12
+		row.SRAMAccessPS = tech.AccessTime6T / f1 * circuit.SecondsToPico
 		row.SRAMBIPS = row.IdealBIPS * f1
 		row.SRAMMeanDynMW = row.IdealMeanDynMW * f1
 		row.SRAMFullDynMW = row.IdealFullDynMW * f1
 		leak6 := stats.Quantile(study.Column(func(c *montecarlo.Chip) float64 { return c.Leak6T1X }), 0.5)
-		row.SRAMLeakMW = power.Leakage6T(tech, leak6) * 1e3
+		row.SRAMLeakMW = power.Leakage6T(tech, leak6) * circuit.WattsToMilli
 
 		// 3T1D: global refresh at the median chip's cache retention.
 		row.TDRetentionNS = chip.CacheRetentionNS
-		retCycles := int64(chip.CacheRetentionNS * 1e-9 / tech.CycleSeconds())
+		retCycles := int64(chip.CacheRetentionNS * circuit.NanoToSeconds / tech.CycleSeconds())
 		if retCycles < 1 {
 			retCycles = 1
 		}
@@ -109,10 +109,10 @@ func Table3(p *Params) *Table3Result {
 			tdDyn += perBench[b].Dyn.TotalW()
 		}
 		tdDyn /= float64(len(perBench))
-		row.TDMeanDynMW = tdDyn * 1e3
+		row.TDMeanDynMW = tdDyn * circuit.WattsToMilli
 		row.TDFullDynMW = row.IdealFullDynMW // same array, same full-rate energy
 		leak3 := stats.Quantile(study.Column(func(c *montecarlo.Chip) float64 { return c.Leak3T1D }), 0.5)
-		row.TDLeakMW = power.Leakage3T1D(tech, leak3) * 1e3
+		row.TDLeakMW = power.Leakage3T1D(tech, leak3) * circuit.WattsToMilli
 
 		res.Rows = append(res.Rows, row)
 		if tech.NodeNM == 32 {

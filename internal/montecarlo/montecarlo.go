@@ -21,7 +21,7 @@ type Chip struct {
 	// Index within the population.
 	Index int
 	// RetentionSec is the per-line retention in seconds (exact).
-	RetentionSec []float64
+	RetentionSec []float64 //unit:seconds
 	// Retention is the per-line counter map (cycles, quantized with the
 	// chip's CounterStep).
 	Retention core.RetentionMap
@@ -30,17 +30,17 @@ type Chip struct {
 	CounterStep int64
 	// CacheRetentionNS is the whole-cache (minimum-line) retention in
 	// nanoseconds — the global scheme's operating point.
-	CacheRetentionNS float64
+	CacheRetentionNS float64 //unit:nanoseconds
 	// DeadFrac is the fraction of lines with zero quantized retention.
-	DeadFrac float64
+	DeadFrac float64 //unit:dimensionless
 	// MeanAliveNS is the mean retention over live lines (ns).
-	MeanAliveNS float64
+	MeanAliveNS float64 //unit:nanoseconds
 	// Freq1X and Freq2X are the normalized 6T frequencies (≤1).
-	Freq1X, Freq2X float64
+	Freq1X, Freq2X float64 //unit:dimensionless
 	// Leak6T1X and Leak3T1D are leakage factors versus the golden 6T.
-	Leak6T1X, Leak3T1D float64
+	Leak6T1X, Leak3T1D float64 //unit:dimensionless
 	// Unstable1X is the 6T 1X bit-flip probability per cell.
-	Unstable1X float64
+	Unstable1X float64 //unit:dimensionless
 }
 
 // Study is a population of evaluated chips for one (technology,
@@ -119,9 +119,9 @@ func evaluate(s *Study, idx int, ch *variation.Chip) Chip {
 		RetentionSec:     sec,
 		Retention:        q,
 		CounterStep:      step,
-		CacheRetentionNS: min * 1e9,
+		CacheRetentionNS: min * circuit.SecondsToNano,
 		DeadFrac:         q.DeadFraction(),
-		MeanAliveNS:      q.MeanAlive() * s.Tech.CycleSeconds() * 1e9,
+		MeanAliveNS:      q.MeanAlive() * s.Tech.CycleSeconds() * circuit.SecondsToNano,
 		Freq1X:           e.SRAMFrequencyFactor(circuit.SRAM1X),
 		Freq2X:           e.SRAMFrequencyFactor(circuit.SRAM2X),
 		Leak6T1X:         e.SRAMLeakageFactor(circuit.SRAM1X),
@@ -133,6 +133,8 @@ func evaluate(s *Study, idx int, ch *variation.Chip) Chip {
 // quality ranks a chip for good/median/bad selection: higher is better.
 // Chips are ranked by mean live retention penalized by dead lines, the
 // §4.3 notion of "process corners that result in longest retention".
+//
+//unit:result nanoseconds
 func (c *Chip) quality() float64 {
 	return c.MeanAliveNS * (1 - c.DeadFrac)
 }
@@ -153,6 +155,8 @@ func (s *Study) GoodMedianBad() (good, median, bad int) {
 // DiscardRate returns the fraction of chips unusable under the global
 // scheme: at least one line cannot survive a refresh pass (§4.3 reports
 // ~80% under severe variation).
+//
+//unit:result dimensionless
 func (s *Study) DiscardRate() float64 {
 	if len(s.Chips) == 0 {
 		return 0
@@ -171,7 +175,7 @@ func (s *Study) DiscardRate() float64 {
 }
 
 // Column extracts one per-chip metric as a slice (ordered by index).
-func (s *Study) Column(f func(*Chip) float64) []float64 {
+func (s *Study) Column(f func(*Chip) float64) []float64 { //lint:allow unitflow element unit depends on the metric extractor
 	out := make([]float64, len(s.Chips))
 	for i := range s.Chips {
 		out[i] = f(&s.Chips[i])
