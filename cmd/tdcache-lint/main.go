@@ -1,7 +1,8 @@
 // Command tdcache-lint is the determinism and physical-correctness lint
 // suite: it runs the four reproducibility analyzers (detrand, mapiter,
-// resetcheck, sweeppure) plus the two unit-discipline analyzers
-// (unitflow, floatcmp) over the repository and fails on any finding.
+// resetcheck, sweeppure), the two unit-discipline analyzers (unitflow,
+// floatcmp), and the two interprocedural call-graph analyzers (hotpath,
+// purecheck) over the repository and fails on any finding.
 //
 // Two invocation modes:
 //
@@ -34,18 +35,23 @@ import (
 	"tdcache/internal/analysis/driver"
 	"tdcache/internal/analysis/floatcmp"
 	"tdcache/internal/analysis/framework"
+	"tdcache/internal/analysis/hotpath"
 	"tdcache/internal/analysis/mapiter"
+	"tdcache/internal/analysis/purecheck"
 	"tdcache/internal/analysis/resetcheck"
 	"tdcache/internal/analysis/sweeppure"
 	"tdcache/internal/analysis/unitflow"
 )
 
-// analyzers is the full suite — the four determinism rules plus the
-// two physical-correctness rules — in reporting order.
+// analyzers is the full suite — the four determinism rules, the two
+// physical-correctness rules, and the two call-graph rules — in
+// reporting order.
 var analyzers = []*framework.Analyzer{
 	detrand.Analyzer,
 	floatcmp.Analyzer,
+	hotpath.Analyzer,
 	mapiter.Analyzer,
+	purecheck.Analyzer,
 	resetcheck.Analyzer,
 	sweeppure.Analyzer,
 	unitflow.Analyzer,
@@ -181,6 +187,10 @@ func collect(dir string, patterns []string) ([]finding, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The standalone lane sees full source for every package, so live
+	// suppressions are provably live here; enable the allowcheck audit.
+	ctx := loader.Context()
+	ctx.AuditSuppressions = true
 	findings := []finding{}
 	for _, path := range paths {
 		if skipPath(path) {
@@ -190,7 +200,7 @@ func collect(dir string, patterns []string) ([]finding, error) {
 		if err != nil {
 			return nil, err
 		}
-		diags, err := driver.Run(analyzers, pkg, loader.Context())
+		diags, err := driver.Run(analyzers, pkg, ctx)
 		if err != nil {
 			return nil, err
 		}

@@ -67,6 +67,26 @@ var bannedPkgs = map[string]string{
 // legal).
 var bannedTimeFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
 
+// Banned reports whether obj is an ambient-entropy source under this
+// rule, and why. Other analyzers (purecheck's kernel purity) compose
+// with the same fact set so "what counts as entropy" has one owner.
+func Banned(obj types.Object) (why string, ok bool) {
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	if _, isPkgName := obj.(*types.PkgName); isPkgName {
+		return "", false
+	}
+	from := obj.Pkg().Path()
+	if why, banned := bannedPkgs[from]; banned {
+		return why, true
+	}
+	if from == "time" && bannedTimeFuncs[obj.Name()] {
+		return "wall-clock read", true
+	}
+	return "", false
+}
+
 func run(pass *framework.Pass) error {
 	if !inScope(pass.Pkg.Path()) {
 		return nil

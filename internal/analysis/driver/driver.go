@@ -315,6 +315,15 @@ type Context struct {
 	Imported func(path string) *framework.PackageSyntax
 	// Facts is the shared cross-package fact memo.
 	Facts *framework.FactStore
+	// AuditSuppressions enables the allowcheck hygiene pass after
+	// filtering: stale `//lint:allow` directives (nothing suppressed)
+	// and surviving directives whose reason names no proof test become
+	// findings. Only the standalone lint lane sets it — it needs the
+	// complete view (every analyzer, cross-package syntax available);
+	// in vet mode, where analyzers degrade to intra-package facts, a
+	// live directive could look stale. analysistest leaves it off so
+	// single-analyzer fixture runs are not judged by suite-wide rules.
+	AuditSuppressions bool
 }
 
 // Context returns a run context backed by this loader: imported
@@ -353,5 +362,17 @@ func Run(analyzers []*framework.Analyzer, pkg *Package, ctx *Context) ([]framewo
 		}
 	}
 	sup := framework.CollectSuppressions(ctx.Fset, pkg.Files)
-	return sup.Filter(diags), nil
+	out := sup.Filter(diags)
+	if ctx.AuditSuppressions {
+		active := map[string]bool{framework.AllowCheckRule: true}
+		for _, a := range analyzers {
+			active[a.Name] = true
+		}
+		// Audit findings are themselves suppressible (`//lint:allow
+		// allowcheck <reason>` on the directive's line); allowcheck
+		// directives are exempt from the audit, so this terminates.
+		out = append(out, sup.Filter(sup.Audit(active))...)
+		framework.SortDiagnostics(ctx.Fset, out)
+	}
+	return out, nil
 }

@@ -89,19 +89,38 @@ func (d Diagnostic) String(fset *token.FileSet) string {
 // an unexplained exception is indistinguishable from a silenced bug.
 var allowRe = regexp.MustCompile(`^//lint:allow\s+([a-z][a-z0-9]*)\s+(\S.*)$`)
 
+// Directive is one parsed `//lint:allow <rule> <reason>` comment.
+type Directive struct {
+	// Pos is the comment's position.
+	Pos token.Pos
+	// File and Line locate the comment (Line is the comment's own
+	// line; a standalone directive also covers Line+1).
+	File string
+	Line int
+	// Rule is the suppressed analyzer name.
+	Rule string
+	// Reason is the mandatory justification text.
+	Reason string
+	// used records whether the directive suppressed at least one
+	// diagnostic this run — the staleness signal Audit reports on.
+	used bool
+}
+
 // Suppressions indexes `//lint:allow` directives by file and line. A
 // directive suppresses matching-rule diagnostics on its own line and,
 // when it is the only thing on its line, on the following line — the
 // two placements gofmt produces for trailing and standalone comments.
 type Suppressions struct {
 	fset *token.FileSet
-	// byLine maps file -> line -> rules allowed on that line.
-	byLine map[string]map[int][]string
+	// directives holds every parsed comment once, in scan order.
+	directives []*Directive
+	// byLine maps file -> line -> directives covering that line.
+	byLine map[string]map[int][]*Directive
 }
 
 // CollectSuppressions scans the comments of files for directives.
 func CollectSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
-	s := &Suppressions{fset: fset, byLine: make(map[string]map[int][]string)}
+	s := &Suppressions{fset: fset, byLine: make(map[string]map[int][]*Directive)}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -112,22 +131,29 @@ func CollectSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
 				pos := fset.Position(c.Pos())
 				lines := s.byLine[pos.Filename]
 				if lines == nil {
-					lines = make(map[int][]string)
+					lines = make(map[int][]*Directive)
 					s.byLine[pos.Filename] = lines
 				}
-				rule := m[1]
+				d := &Directive{
+					Pos: c.Pos(), File: pos.Filename, Line: pos.Line,
+					Rule: m[1], Reason: strings.TrimSpace(m[2]),
+				}
+				s.directives = append(s.directives, d)
 				// The directive covers its own line; a standalone
 				// directive (nothing else on the line) also covers the
 				// next line, the line it annotates.
-				lines[pos.Line] = append(lines[pos.Line], rule)
+				lines[pos.Line] = append(lines[pos.Line], d)
 				if pos.Column == 1 || onlyCommentOnLine(fset, f, c) {
-					lines[pos.Line+1] = append(lines[pos.Line+1], rule)
+					lines[pos.Line+1] = append(lines[pos.Line+1], d)
 				}
 			}
 		}
 	}
 	return s
 }
+
+// Directives returns every parsed directive in scan order.
+func (s *Suppressions) Directives() []*Directive { return s.directives }
 
 // onlyCommentOnLine reports whether comment c starts its line (no code
 // before it), making it a standalone annotation for the line below.
@@ -152,15 +178,58 @@ func onlyCommentOnLine(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
 	return only
 }
 
-// Suppressed reports whether d is covered by an allow directive.
+// Suppressed reports whether d is covered by an allow directive, and
+// marks the covering directive used (the signal Audit consumes).
 func (s *Suppressions) Suppressed(d Diagnostic) bool {
 	pos := s.fset.Position(d.Pos)
-	for _, rule := range s.byLine[pos.Filename][pos.Line] {
-		if rule == d.Rule {
+	for _, dir := range s.byLine[pos.Filename][pos.Line] {
+		if dir.Rule == d.Rule {
+			dir.used = true
 			return true
 		}
 	}
 	return false
+}
+
+// AllowCheckRule is the rule name under which Audit reports directive
+// hygiene findings (stale suppressions, reasons with no proof test).
+const AllowCheckRule = "allowcheck"
+
+// proofRe matches a Go test or benchmark identifier inside a reason —
+// the "name your proof test" requirement for surviving suppressions.
+var proofRe = regexp.MustCompile(`\b(?:Test|Benchmark)\p{Lu}\w*`)
+
+// Audit reports on directive hygiene after a filtering run: a
+// directive for an active rule that suppressed nothing is stale (the
+// finding it excused is gone — delete it), and a surviving directive
+// must name the test that proves the excused behavior is safe.
+// Directives for the allowcheck rule itself are exempt (they suppress
+// meta-findings and have nothing to prove), as are directives for
+// rules outside active (their analyzer did not run, so "unused" means
+// nothing). Call only when the run had the complete view — every
+// analyzer whose rules appear in the files, with cross-package syntax
+// available — or degraded analyzers will make live directives look
+// stale; the driver gates this on Context.AuditSuppressions.
+func (s *Suppressions) Audit(active map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range s.directives {
+		if d.Rule == AllowCheckRule || !active[d.Rule] {
+			continue
+		}
+		switch {
+		case !d.used:
+			out = append(out, Diagnostic{
+				Rule: AllowCheckRule, Pos: d.Pos,
+				Message: fmt.Sprintf("stale suppression: no %s finding is reported here anymore; delete the //lint:allow", d.Rule),
+			})
+		case !strings.HasSuffix(d.File, "_test.go") && !proofRe.MatchString(d.Reason):
+			out = append(out, Diagnostic{
+				Rule: AllowCheckRule, Pos: d.Pos,
+				Message: fmt.Sprintf("suppression reason for %s must name its proof test (a Test… or Benchmark… identifier): %q", d.Rule, d.Reason),
+			})
+		}
+	}
+	return out
 }
 
 // Filter drops suppressed diagnostics and sorts the remainder by

@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"strings"
 	"testing"
 )
 
@@ -92,6 +93,80 @@ func TestRootIdent(t *testing.T) {
 		}
 		if got != want {
 			t.Errorf("RootIdent(%s) = %q, want %q", src, got, want)
+		}
+	}
+}
+
+// auditSrc exercises every Audit outcome. Line numbers matter: tests
+// reference directives by position.
+const auditSrc = `package p
+
+func f() {
+	a := 1 //lint:allow rulea excused; TestProofA pins the behavior
+	b := 2 //lint:allow rulea stale, nothing reported here anymore
+	c := 3 //lint:allow rulea excused but names no proof
+	d := 4 //lint:allow inactive rule not in this run
+	e := 5 //lint:allow allowcheck meta-suppression is exempt from proof naming
+	_, _, _, _, _ = a, b, c, d, e
+}
+`
+
+func collectAudit(t *testing.T, filename, src string, suppressLines []int) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := CollectSuppressions(fset, []*ast.File{f})
+	for _, line := range suppressLines {
+		d := Diagnostic{Rule: "rulea", Pos: posOnLine(fset, f, line)}
+		if !s.Suppressed(d) {
+			t.Fatalf("line %d: expected a rulea suppression to fire", line)
+		}
+	}
+	return s.Audit(map[string]bool{"rulea": true, AllowCheckRule: true})
+}
+
+// TestAuditSuppressionHygiene pins the two allowcheck findings: a
+// directive that suppressed nothing for an active rule is stale, and a
+// surviving non-test directive must name a Test…/Benchmark… proof.
+func TestAuditSuppressionHygiene(t *testing.T) {
+	// Lines 4 and 6 suppress real findings; line 5 suppresses nothing.
+	out := collectAudit(t, "p.go", auditSrc, []int{4, 6})
+	if len(out) != 2 {
+		t.Fatalf("Audit returned %d findings, want 2: %+v", len(out), out)
+	}
+	if want := "stale suppression: no rulea finding"; !strings.Contains(out[0].Message, want) {
+		t.Errorf("finding 0 = %q, want prefix %q", out[0].Message, want)
+	}
+	if want := "must name its proof test"; !strings.Contains(out[1].Message, want) {
+		t.Errorf("finding 1 = %q, want %q", out[1].Message, want)
+	}
+	for _, d := range out {
+		if d.Rule != AllowCheckRule {
+			t.Errorf("audit finding reported under rule %q, want %q", d.Rule, AllowCheckRule)
+		}
+	}
+}
+
+// TestAuditTestFileExemption: directives in _test.go files are exempt
+// from the proof-naming requirement (the test is the file itself) but
+// still flagged when stale.
+func TestAuditTestFileExemption(t *testing.T) {
+	out := collectAudit(t, "p_test.go", auditSrc, []int{4, 6})
+	if len(out) != 1 || !strings.Contains(out[0].Message, "stale suppression") {
+		t.Fatalf("Audit in _test.go = %+v, want only the stale finding", out)
+	}
+}
+
+// TestAuditProofAccepted: a reason naming a Test… identifier passes.
+func TestAuditProofAccepted(t *testing.T) {
+	out := collectAudit(t, "p.go", auditSrc, []int{4})
+	// Line 4 names TestProofA: it must not appear among the findings.
+	for _, d := range out {
+		if strings.Contains(d.Message, "TestProofA") {
+			t.Errorf("directive with proof test flagged: %q", d.Message)
 		}
 	}
 }

@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"tdcache/internal/analysis/analysistest"
+	"tdcache/internal/analysis/hotpath"
+)
+
+func TestHotpath(t *testing.T) {
+	analysistest.Run(t, "testdata", hotpath.Analyzer, "hp/a", "hp/b")
+}

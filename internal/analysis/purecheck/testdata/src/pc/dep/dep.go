@@ -1,0 +1,10 @@
+// Package dep is the cross-package half of the purecheck fixtures.
+package dep
+
+// Total is package-level accumulation state.
+var Total float64
+
+// Accumulate is impure: it folds into package state.
+func Accumulate(v float64) {
+	Total += v
+}

@@ -1,0 +1,175 @@
+// Package use exercises the purecheck violation classes plus the
+// sanctioned idioms (local writes, parameter writes, Reset-managed
+// mutation, sync.Once initialization, nested memo plumbing, and
+// `//lint:allow purecheck` suppressions).
+package use
+
+import (
+	"math/rand"
+	"sync"
+
+	"pc/dep"
+	"tdcache/internal/sweep"
+)
+
+// hits is package-level state no kernel may touch.
+var hits int
+
+// table is package-level state reached transitively.
+var table [4]float64
+
+// meter is a package-level unmanaged mutable.
+var meter Gauge
+
+// Harness is Reset-managed: kernels may mutate it between replays.
+type Harness struct{ acc float64 }
+
+func (h *Harness) Reset()        { h.acc = 0 }
+func (h *Harness) Add(v float64) { h.acc += v }
+
+// Gauge is NOT Reset-managed: kernel mutation leaks across replays.
+type Gauge struct{ v float64 }
+
+func (g *Gauge) Bump() { g.v++ }
+
+func (g *Gauge) compute() float64 {
+	g.v++
+	return g.v
+}
+
+func bump() {
+	hits++ // want `memoized kernel → deep → bump: writes package-level state hits`
+}
+
+func deep() { bump() }
+
+// pureInto writes only through its parameter: sanctioned.
+func pureInto(dst []float64) {
+	for i := range dst {
+		dst[i] = float64(i)
+	}
+}
+
+func namedKernel() float64 {
+	hits++ // want `memoized kernel namedKernel: writes package-level state hits`
+	return 1
+}
+
+var memo sweep.Memo[int, float64]
+
+var inner sweep.Memo[int, float64]
+
+var poolOnce sync.Once
+
+var pool []float64
+
+// Direct writes package state straight from the kernel.
+func Direct(k int) float64 {
+	return memo.Do(k, func() float64 {
+		hits++ // want `memoized kernel: writes package-level state hits`
+		return float64(k)
+	})
+}
+
+// Transitive reaches the write two calls down; the chain names it.
+func Transitive(k int) float64 {
+	return memo.Do(k, func() float64 {
+		deep()
+		return float64(k)
+	})
+}
+
+// Entropy draws from the process-global generator.
+func Entropy(k int) float64 {
+	return memo.Do(k, func() float64 {
+		return float64(k) * rand.Float64() // want `draws ambient entropy from rand\.Float64`
+	})
+}
+
+// Captured smuggles the result past the memo through a closure write.
+func Captured(k int) float64 {
+	total := 0.0
+	v := memo.Do(k, func() float64 {
+		total += float64(k) // want `writes captured variable total`
+		return total
+	})
+	return v
+}
+
+// Mutates exercises receiver-mutation classification.
+func Mutates(k int, g *Gauge, h *Harness) float64 {
+	return memo.Do(k, func() float64 {
+		h.Reset()    // accepted: Harness is Reset-managed
+		h.Add(1)     // accepted
+		g.Bump()     // want `mutates captured g through Gauge\.Bump`
+		meter.Bump() // want `mutates package-level meter through Gauge\.Bump`
+		return 0
+	})
+}
+
+// MethodValue passes a bound mutating method as the kernel.
+func MethodValue(k int, g *Gauge) float64 {
+	return memo.Do(k, g.compute) // want `kernel method value Gauge\.compute mutates its receiver`
+}
+
+// Named passes a named impure function as the kernel.
+func Named(k int) float64 {
+	_ = k
+	return memo.Do(0, namedKernel)
+}
+
+// Dynamic passes a computed function value: unverifiable.
+func Dynamic(k int, fns map[int]func() float64) float64 {
+	return memo.Do(k, fns[k]) // want `kernel is not a function literal or named function`
+}
+
+// CrossPkg reaches package state in another package; the finding is
+// anchored at the in-package call site.
+func CrossPkg(k int) float64 {
+	return memo.Do(k, func() float64 {
+		dep.Accumulate(1) // want `memoized kernel → dep\.Accumulate: writes package-level state Total`
+		return 0
+	})
+}
+
+// Pooled initializes shared state exactly once: replay-safe.
+func Pooled(k int) float64 {
+	return memo.Do(k, func() float64 {
+		poolOnce.Do(func() {
+			pool = make([]float64, 8) // accepted: sync.Once.Do initialization
+		})
+		return pool[k&7]
+	})
+}
+
+// Buffered stages results in kernel-local storage: sanctioned.
+func Buffered(k int) float64 {
+	return memo.Do(k, func() float64 {
+		var buf [4]float64
+		pureInto(buf[:]) // accepted: helper writes only through its parameter
+		return buf[0]
+	})
+}
+
+// Nested composes memos: engine plumbing is trusted.
+func Nested(k int) float64 {
+	return memo.Do(k, func() float64 {
+		return inner.Do(k+1, func() float64 { return 1 }) // accepted: nested memo is trusted plumbing
+	})
+}
+
+// Worker mutation is sanctioned: the engine owns worker lifecycle.
+func UsesWorker(k int, w *sweep.Worker) float64 {
+	return memo.Do(k, func() float64 {
+		w.Scratch = w.Scratch[:0] // accepted: sweep-package types are engine-managed
+		return 0
+	})
+}
+
+// Allowed demonstrates an accepted suppression.
+func Allowed(k int) float64 {
+	return memo.Do(k, func() float64 {
+		hits++ //lint:allow purecheck fixture demonstrating an accepted suppression
+		return 0
+	})
+}

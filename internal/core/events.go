@@ -79,7 +79,10 @@ func (q *retireQueue) schedule(line int, gen uint32, at, now int64) {
 		at = now + q.horizon() - 1
 	}
 	idx := int(at>>q.shift) & q.mask
-	q.buckets[idx] = append(q.buckets[idx], lineEvent{line: line, gen: gen, at: at})
+	// Bucket growth is amortized: capacities stabilize within the first
+	// retention period and Reset keeps them, so steady-state scheduling
+	// is allocation-free — TestCacheHotPathZeroAllocs measures it.
+	q.buckets[idx] = append(q.buckets[idx], lineEvent{line: line, gen: gen, at: at}) //lint:allow hotpath amortized warm-up growth only; steady state proven by TestCacheHotPathZeroAllocs
 }
 
 // drain moves all events due at or before now into the pending queue.
@@ -98,9 +101,11 @@ func (q *retireQueue) drain(now int64) {
 			kept := b[:0]
 			for _, ev := range b {
 				if ev.at <= now {
-					q.pending = append(q.pending, ev)
+					// pending's capacity stabilizes at the maximum number of
+					// simultaneous asserts (bounded by the token queue depth).
+					q.pending = append(q.pending, ev) //lint:allow hotpath amortized warm-up growth only; steady state proven by TestCacheHotPathZeroAllocs
 				} else {
-					kept = append(kept, ev)
+					kept = append(kept, ev) //lint:allow hotpath kept aliases b[:0] and never outgrows b, so this append cannot grow; TestCacheHotPathZeroAllocs measures 0 allocs
 				}
 			}
 			q.buckets[idx] = kept

@@ -154,6 +154,13 @@ func NewSystem(cfg Config, cache *core.Cache, l2 *L2, gen *workload.Generator) *
 		Gen:   gen,
 		rob:   make([]robEntry, cfg.ROBSize),
 		mshrs: make([]mshr, cfg.MSHRs),
+		// Exact capacities: the hot path guards every append with a
+		// len==cap check, so these bounds double as the structural limits
+		// (StoreBuffer entries; at most LoadQ loads can wait on one fill).
+		storeBuf: make([]uint64, 0, cfg.StoreBuffer),
+	}
+	for i := range s.mshrs {
+		s.mshrs[i].loads = make([]int, 0, cfg.LoadQ)
 	}
 	if cfg.ModelICache {
 		// Table 2: 64 KB 4-way I-cache. Modelled as a tag array whose
@@ -238,6 +245,9 @@ func (s *System) Run(instructions uint64) Metrics {
 }
 
 // Step simulates one clock cycle.
+//
+//hotpath: runs once per simulated cycle — tens of millions of times per
+// sweep job; a single heap allocation here dominates sweep runtime
 func (s *System) Step() {
 	s.Cache.Tick(s.now)
 	s.completeMisses()
@@ -315,7 +325,11 @@ func (s *System) drainStoreBuffer() {
 				return
 			}
 		}
-		s.storeBuf = s.storeBuf[1:]
+		// Shift-down pop rather than re-slicing: s.storeBuf[1:] would
+		// shrink the capacity every drain until commit's len==cap guard
+		// wedged the pipeline.
+		copy(s.storeBuf, s.storeBuf[1:])
+		s.storeBuf = s.storeBuf[:len(s.storeBuf)-1]
 		// One store per write port per cycle.
 		return
 	}
@@ -330,7 +344,9 @@ func (s *System) commit() {
 		}
 		switch e.kind {
 		case workload.KStore:
-			if len(s.storeBuf) >= s.Cfg.StoreBuffer {
+			// cap(storeBuf) == Cfg.StoreBuffer by construction, so this is
+			// the structural full check and the append below cannot grow.
+			if len(s.storeBuf) == cap(s.storeBuf) {
 				return // store buffer full: commit stalls
 			}
 			s.storeBuf = append(s.storeBuf, e.addr)
@@ -417,6 +433,11 @@ func (s *System) issue() {
 				slot := s.allocMSHR(lineOf(e.addr), false)
 				if slot == -1 {
 					continue // MSHRs full; retry
+				}
+				// cap == Cfg.LoadQ: more waiters than load-queue entries is
+				// impossible, so this guard only pins the append below.
+				if len(s.mshrs[slot].loads) == cap(s.mshrs[slot].loads) {
+					continue
 				}
 				e.state = sWaitMem
 				e.doneAt = math.MaxInt64

@@ -9,10 +9,10 @@ type L2 struct {
 	lineBytes  int
 	hitLat     int
 	memLat     int
-	//lint:allow resetcheck stale tags are unreachable once valid is cleared; a fill rewrites them before any lookup can match
+	//lint:allow resetcheck stale tags are unreachable once valid is cleared; TestL2ResetEquivalentToFresh proves a reset L2 replays identically to a fresh one
 	tags  []uint64
 	valid []bool
-	//lint:allow resetcheck stale LRU stamps are consulted only among valid lines, and Reset invalidates every line
+	//lint:allow resetcheck stale LRU stamps are consulted only among valid lines, which Reset clears; proven by TestL2ResetEquivalentToFresh
 	lastUsed []int64
 	clock    int64
 

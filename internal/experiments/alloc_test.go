@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"testing"
+
+	"tdcache/internal/sweep"
+)
+
+// TestBaselineReplayZeroAllocs pins the memoized-baseline replay path:
+// the first call simulates the ideal-6T configuration, and every
+// subsequent call with the same key returns the cached result through
+// Memo.Lookup without allocating — no compute closure, no map growth.
+func TestBaselineReplayZeroAllocs(t *testing.T) {
+	p := QuickParams()
+	p.Parallel = 1
+	p.Instructions = 5_000
+	p.Benchmarks = []string{"gzip"}
+	p.Pool().Run(1, func(job int, w *sweep.Worker) {
+		first := p.baseline(w, "gzip", 0, 0)
+		avg := testing.AllocsPerRun(500, func() {
+			r := p.baseline(w, "gzip", 0, 0)
+			if r.IPC != first.IPC {
+				t.Errorf("replay diverged: IPC %v != %v", r.IPC, first.IPC)
+			}
+		})
+		if avg != 0 {
+			t.Errorf("%.2f allocs per memoized baseline replay, want 0", avg)
+		}
+	})
+}

@@ -217,6 +217,11 @@ func reshapeRetention(src core.RetentionMap, lines int) core.RetentionMap {
 // locking, so a baseline is simulated exactly once per key.
 func (p *Params) baseline(w *sweep.Worker, bench string, sets, ways int) runResult {
 	key := baselineKey{p.Tech.Name, p.Tech.Vdd, bench, sets, ways}
+	// Replay fast path: after the first computation every caller takes
+	// this branch, skipping the compute-closure Do would allocate.
+	if v, ok := p.baseMemo.Lookup(key); ok {
+		return v
+	}
 	return p.baseMemo.Do(key, func() runResult {
 		lines := 1024
 		if sets != 0 && ways != 0 {
@@ -236,6 +241,9 @@ func (p *Params) baseline(w *sweep.Worker, bench string, sets, ways int) runResu
 // level of an experiment, never from inside a sweep job.
 func (p *Params) study(sc variation.Scenario, chips int) *montecarlo.Study {
 	key := studyKey{p.Tech.Name, p.Tech.Vdd, sc.Name, chips}
+	if st, ok := p.studyMemo.Lookup(key); ok {
+		return st
+	}
 	return p.studyMemo.Do(key, func() *montecarlo.Study {
 		return montecarlo.New(montecarlo.Options{
 			Tech: p.Tech, Scenario: sc, Seed: p.Seed ^ 0xc41b, Chips: chips,

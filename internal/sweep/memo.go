@@ -46,6 +46,22 @@ func (m *Memo[K, V]) Do(key K, compute func() V) V {
 	return e.val
 }
 
+// Lookup returns the memoized value for key without computing anything.
+// A caller that already holds the key's value in the map avoids building
+// the compute closure Do would need; like Do, it blocks until an
+// in-flight computation of the key finishes.
+func (m *Memo[K, V]) Lookup(key K) (val V, ok bool) {
+	m.mu.Lock()
+	e, ok := m.m[key]
+	m.mu.Unlock()
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	<-e.done
+	return e.val, true
+}
+
 // Computes reports how many times Do invoked a compute function — with
 // correct deduplication, exactly the number of distinct keys requested.
 func (m *Memo[K, V]) Computes() uint64 {
