@@ -5,12 +5,22 @@
 //
 //	tdcache-experiments -experiment all
 //	tdcache-experiments -experiment fig9 -chips 100 -instructions 200000
+//	tdcache-experiments -experiment tab3 -format json
+//	tdcache-experiments -experiment all -quick -store ./results
 //	tdcache-experiments -list
+//
+// With -store, results are read from (and computed into) a
+// content-addressed on-disk store keyed by experiment ID and parameter
+// digest, so re-running with the same configuration serves cached
+// bytes instead of re-simulating.
 package main
 
 import (
+	"bytes"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -31,10 +41,18 @@ func main() {
 		benchmarks   = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all eight)")
 		quick        = flag.Bool("quick", false, "use the reduced smoke-test configuration")
 		parallel     = flag.Int("parallel", 0, "sweep worker-pool width (0 = GOMAXPROCS, 1 = sequential; output is identical)")
+		format       = flag.String("format", "text", "output format: text, json, or csv")
+		storeDir     = flag.String("store", "", "content-addressed result store directory (empty = no store)")
 		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	// Distinguish explicitly set flags from defaults so that zero values
+	// (-seed 0, -parallel 0, -chips 0) are honored rather than silently
+	// conflated with "unset".
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -65,8 +83,8 @@ func main() {
 	}
 
 	if *list {
-		for _, id := range tdcache.Experiments() {
-			fmt.Println(id)
+		for _, sp := range tdcache.ExperimentSpecs() {
+			fmt.Printf("%-10s %-10s %s\n", sp.ID, sp.Kind, sp.Title)
 		}
 		return
 	}
@@ -75,27 +93,125 @@ func main() {
 	if *quick {
 		p = tdcache.QuickExperimentParams()
 	}
-	if *chips > 0 {
+	if set["chips"] {
 		p.Chips = *chips
 	}
-	if *distChips > 0 {
+	if set["dist-chips"] {
 		p.DistChips = *distChips
 	}
-	if *instructions > 0 {
+	if set["instructions"] {
 		p.Instructions = *instructions
 	}
-	if *seed != 0 {
+	if set["seed"] {
 		p.Seed = *seed
 	}
-	if *benchmarks != "" {
+	if set["benchmarks"] {
 		p.Benchmarks = strings.Split(*benchmarks, ",")
 	}
-	p.Parallel = *parallel
+	if set["parallel"] {
+		p.Parallel = *parallel
+	}
+
+	f, err := tdcache.ParseArtifactFormat(*format)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var store *tdcache.ArtifactStore
+	if *storeDir != "" {
+		store, err = tdcache.NewArtifactStore(*storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 
 	start := time.Now()
-	if err := tdcache.RunExperiment(*experiment, p, os.Stdout); err != nil {
+	if err := run(*experiment, p, f, store, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "[%s in %v]\n", *experiment, time.Since(start).Round(time.Millisecond))
+}
+
+// run regenerates one experiment (or all of them) in the requested
+// format, consulting the store first when one is configured.
+func run(experiment string, p *tdcache.ExperimentParams, f tdcache.ArtifactFormat, store *tdcache.ArtifactStore, w io.Writer) error {
+	if experiment == "all" {
+		return runAll(p, f, store, w)
+	}
+	data, err := artifactBytes(experiment, p, f, store)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// runAll composes the full artifact set: a JSON array for json, `# id`
+// separated documents for csv, and the classic `===== id =====` report
+// for text.
+func runAll(p *tdcache.ExperimentParams, f tdcache.ArtifactFormat, store *tdcache.ArtifactStore, w io.Writer) error {
+	for i, sp := range tdcache.ExperimentSpecs() {
+		data, err := artifactBytes(sp.ID, p, f, store)
+		if err != nil {
+			return err
+		}
+		switch f {
+		case tdcache.FormatJSON:
+			head := ",\n"
+			if i == 0 {
+				head = "[\n"
+			}
+			if _, err := fmt.Fprintf(w, "%s%s", head, bytes.TrimRight(data, "\n")); err != nil {
+				return err
+			}
+		case tdcache.FormatCSV:
+			if _, err := fmt.Fprintf(w, "# %s\n%s\n", sp.ID, data); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(w, "===== %s =====\n%s\n", sp.ID, data); err != nil {
+				return err
+			}
+		}
+	}
+	if f == tdcache.FormatJSON {
+		_, err := io.WriteString(w, "\n]\n")
+		return err
+	}
+	return nil
+}
+
+// artifactBytes returns the encoded artifact, serving from the store on
+// a hit and computing (then persisting) on a miss.
+func artifactBytes(id string, p *tdcache.ExperimentParams, f tdcache.ArtifactFormat, store *tdcache.ArtifactStore) ([]byte, error) {
+	if store == nil {
+		a, err := tdcache.BuildExperiment(id, p)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := tdcache.EncodeArtifact(&buf, f, a); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+	digest := tdcache.ExperimentDigest(p)
+	data, _, err := store.ReadFormat(id, digest, f)
+	if err == nil {
+		return data, nil
+	}
+	if !errors.Is(err, tdcache.ErrStoreMiss) {
+		return nil, err
+	}
+	a, err := tdcache.BuildExperiment(id, p)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := store.Put(a); err != nil {
+		return nil, err
+	}
+	data, _, err = store.ReadFormat(id, digest, f)
+	return data, err
 }

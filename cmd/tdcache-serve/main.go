@@ -1,0 +1,87 @@
+// Command tdcache-serve exposes the paper's experiment artifacts over
+// HTTP, backed by a content-addressed result store: each artifact is
+// simulated at most once per parameter configuration and then served
+// from disk, with ETag revalidation.
+//
+// Usage:
+//
+//	tdcache-serve -addr :8344 -store ./results
+//
+//	curl localhost:8344/v1/experiments
+//	curl 'localhost:8344/v1/experiments/tab3?format=json&quick=true'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tdcache/internal/artifact"
+	"tdcache/internal/experiments"
+	"tdcache/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "localhost:8344", "listen address")
+		storeDir = flag.String("store", "tdcache-store", "artifact store directory")
+		parallel = flag.Int("parallel", 0, "sweep worker-pool width (0 = GOMAXPROCS; output is identical)")
+	)
+	flag.Parse()
+	if err := run(*addr, *storeDir, *parallel); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, storeDir string, parallel int) error {
+	st, err := artifact.NewStore(storeDir)
+	if err != nil {
+		return err
+	}
+	full := experiments.DefaultParams()
+	quick := experiments.QuickParams()
+	full.Parallel = parallel
+	quick.Parallel = parallel
+	s, err := serve.New(serve.Options{Store: st, Full: full, Quick: quick})
+	if err != nil {
+		return err
+	}
+
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           s,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	done := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "tdcache-serve: listening on %s, store %s\n", addr, st.Dir())
+		done <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+	}
+	// Drain in-flight requests; long simulations get a grace period.
+	fmt.Fprintln(os.Stderr, "tdcache-serve: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	if err := <-done; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+// Command tdcache-validate checks artifact JSON against the schema:
+// it reads a JSON array (or a single object) of artifact tables from
+// stdin, validates each, and exits nonzero on the first failure.
+//
+// It closes the CI loop on the artifact pipeline:
+//
+//	tdcache-experiments -experiment all -quick -format json | tdcache-validate
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"tdcache/internal/artifact"
+)
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(r io.Reader, w io.Writer) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	if len(trimmed) == 0 {
+		return fmt.Errorf("tdcache-validate: empty input")
+	}
+
+	var tables []*artifact.Table
+	if trimmed[0] == '[' {
+		if err := json.Unmarshal(data, &tables); err != nil {
+			return fmt.Errorf("tdcache-validate: parse array: %w", err)
+		}
+	} else {
+		t, err := artifact.DecodeJSON(bytes.NewReader(data))
+		if err != nil {
+			return fmt.Errorf("tdcache-validate: %w", err)
+		}
+		tables = append(tables, t)
+	}
+
+	for i, t := range tables {
+		if err := artifact.Validate(t); err != nil {
+			return fmt.Errorf("tdcache-validate: artifact %d: %w", i, err)
+		}
+	}
+	fmt.Fprintf(w, "tdcache-validate: %d artifact(s) valid\n", len(tables))
+	return nil
+}

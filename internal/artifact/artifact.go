@@ -1,0 +1,213 @@
+// Package artifact turns experiment results into typed, reusable
+// artifacts. The paper's evaluation is a set of tables and figures;
+// historically each was modeled as a runner that printed formatted text,
+// so results existed only as presentation. This package separates the
+// two concerns the way variation-aware frameworks (VAR-DRAM, TS Cache)
+// do: an experiment produces an Artifact — structured, typed result
+// data with identity and provenance — and presentation becomes one of
+// several encoders over it (Text, JSON, CSV). On top of that sit a
+// deterministic content digest (digest.go) and a content-addressed
+// on-disk Store (store.go) keyed by (experiment ID, params digest), so
+// downstream consumers — the CLI, the HTTP artifact server, regression
+// diffing, plotting — share one cached, machine-readable substrate
+// instead of re-simulating per consumer.
+//
+// Determinism contract: building a Table from a result is a pure
+// function of the result, and every encoder is a pure function of the
+// Table, so a given (experiment ID, params digest) key always maps to
+// byte-identical store content. Nothing in this package reads the
+// clock or ambient randomness.
+package artifact
+
+import (
+	"fmt"
+	"io"
+)
+
+// SchemaVersion identifies the Table wire format and digest recipe. It
+// participates in both the params digest and the artifact digest, so a
+// schema change can never alias a stale store entry.
+const SchemaVersion = 1
+
+// Kind classifies an artifact by its role in the paper.
+type Kind string
+
+// The artifact kinds: paper figures, paper tables, in-text section
+// claims, and extensions beyond the paper (e.g. the yield curves).
+const (
+	KindFigure    Kind = "figure"
+	KindTable     Kind = "table"
+	KindSection   Kind = "section"
+	KindExtension Kind = "extension"
+)
+
+// Kinds lists the valid artifact kinds.
+func Kinds() []Kind {
+	return []Kind{KindFigure, KindTable, KindSection, KindExtension}
+}
+
+// Artifact is one reproduced paper artifact. Concrete experiment
+// results implement it; the encoders and the Store consume it.
+type Artifact interface {
+	// ArtifactID is the stable registry ID ("fig9", "tab3", "sec4.1").
+	ArtifactID() string
+	// ArtifactTable builds the structured form of the result. It must
+	// be deterministic: the same result yields an identical Table (and
+	// therefore byte-identical encodings and digest) on every call.
+	ArtifactTable() *Table
+}
+
+// TextRenderer is implemented by artifacts that carry a legacy
+// paper-shaped text rendering. The Text encoder prefers it when
+// present, which is what keeps `-format text` byte-identical to the
+// pre-artifact print output.
+type TextRenderer interface {
+	RenderText(w io.Writer)
+}
+
+// Provenance records what produced an artifact: enough to decide
+// whether a stored copy is still valid for a given configuration.
+type Provenance struct {
+	// SchemaVersion is the Table wire-format version at build time.
+	SchemaVersion int `json:"schema_version"`
+	// ParamsDigest is the content hash of the experiment parameters
+	// (see the experiments package's Digest).
+	ParamsDigest string `json:"params_digest"`
+	// Seed is the root random seed of the run.
+	Seed uint64 `json:"seed"`
+	// Tech names the primary technology node of the run.
+	Tech string `json:"tech"`
+}
+
+// ColKind is the cell type of a Column.
+type ColKind string
+
+// The column cell types.
+const (
+	ColString ColKind = "string"
+	ColInt    ColKind = "int"
+	ColFloat  ColKind = "float"
+)
+
+// Column is one typed column of a Table, stored columnar: exactly one
+// of S/I/F is populated, matching Kind, and all columns of a Table
+// have the same length.
+type Column struct {
+	// Name is the column header.
+	Name string `json:"name"`
+	// Unit is the physical unit of the cells, drawn from the Unit…
+	// vocabulary constants in units.go (empty for plain labels).
+	Unit string `json:"unit,omitempty"`
+	// Kind selects which storage slice is populated.
+	Kind ColKind `json:"kind"`
+	// S holds string cells.
+	S []string `json:"s,omitempty"`
+	// I holds integer cells (their unit, e.g. cycles, travels in Unit).
+	I []int64 `json:"i,omitempty"`
+	// F holds raw float cells; the physical unit travels in Unit as
+	// data, so the storage itself is a bare number at the lint level.
+	F []float64 `json:"f,omitempty"` //unit:dimensionless
+}
+
+// Metric is one headline scalar of an artifact (the numbers the paper
+// quotes in prose: discard rates, power savings, worst-chip losses).
+type Metric struct {
+	// Name identifies the metric within the artifact.
+	Name string `json:"name"`
+	// Unit is the metric's physical unit from the units.go vocabulary.
+	Unit string `json:"unit,omitempty"`
+	// Value is the raw number; its physical unit travels in Unit.
+	Value float64 `json:"value"` //unit:dimensionless
+}
+
+// Table is the concrete artifact payload: identified, typed, columnar
+// result data plus headline metrics, string attributes, and
+// provenance. It is the unit of encoding, digesting, and storage.
+type Table struct {
+	// ID is the stable experiment ID ("fig9", "tab3", "sec4.1").
+	ID string `json:"id"`
+	// Title is the human-readable artifact title.
+	Title string `json:"title"`
+	// Kind classifies the artifact (figure, table, section, extension).
+	Kind Kind `json:"kind"`
+	// Columns is the row data in columnar form; all the same length.
+	Columns []Column `json:"columns,omitempty"`
+	// Metrics are the artifact's headline scalars.
+	Metrics []Metric `json:"metrics,omitempty"`
+	// Attrs holds string-valued facts (winning scheme names, worst
+	// benchmarks, ...). Encoded with sorted keys.
+	Attrs map[string]string `json:"attrs,omitempty"`
+	// Prov records what produced the artifact.
+	Prov Provenance `json:"provenance"`
+}
+
+// ArtifactID implements Artifact, so a decoded Table (e.g. one loaded
+// back from a store or a JSON stream) is itself an artifact.
+func (t *Table) ArtifactID() string { return t.ID }
+
+// ArtifactTable implements Artifact.
+func (t *Table) ArtifactTable() *Table { return t }
+
+// RowCount returns the number of rows, i.e. the shared column length
+// (0 for a metrics-only table).
+func (t *Table) RowCount() int {
+	if len(t.Columns) == 0 {
+		return 0
+	}
+	return t.Columns[0].Len()
+}
+
+// Len returns the number of cells in the column's populated storage.
+func (c *Column) Len() int {
+	switch c.Kind {
+	case ColString:
+		return len(c.S)
+	case ColInt:
+		return len(c.I)
+	default:
+		return len(c.F)
+	}
+}
+
+// Cell renders cell i as a string (the CSV and generic-text forms).
+// Floats use the shortest exact representation, so formatting is
+// deterministic and round-trips.
+func (c *Column) Cell(i int) string {
+	switch c.Kind {
+	case ColString:
+		return c.S[i]
+	case ColInt:
+		return formatInt(c.I[i])
+	default:
+		return formatFloat(c.F[i])
+	}
+}
+
+// Strings builds a string column (labels carry no unit).
+func Strings(name string, vals []string) Column {
+	return Column{Name: name, Kind: ColString, S: vals}
+}
+
+// Ints builds an integer column carrying unit.
+func Ints(name, unit string, vals []int64) Column {
+	return Column{Name: name, Unit: unit, Kind: ColInt, I: vals}
+}
+
+// Floats builds a float column carrying unit.
+//
+//unit:param vals dimensionless
+func Floats(name, unit string, vals []float64) Column {
+	return Column{Name: name, Unit: unit, Kind: ColFloat, F: vals}
+}
+
+// Met builds a headline metric.
+//
+//unit:param v dimensionless
+func Met(name, unit string, v float64) Metric {
+	return Metric{Name: name, Unit: unit, Value: v}
+}
+
+// errorf builds package-prefixed errors.
+func errorf(format string, args ...any) error {
+	return fmt.Errorf("artifact: "+format, args...)
+}

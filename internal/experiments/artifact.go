@@ -1,0 +1,598 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"tdcache/internal/artifact"
+	"tdcache/internal/core"
+)
+
+// Digest returns the content hash of everything that shapes an
+// experiment's output: the technology node, the root seed, the
+// population and run sizes, the benchmark selection, and the artifact
+// schema version. Params.Parallel is deliberately excluded — the sweep
+// engine guarantees output is byte-identical regardless of worker
+// count, so parallelism must not fragment the result store.
+func Digest(p *Params) string {
+	h := artifact.NewHasher()
+	h.Int("schema", artifact.SchemaVersion)
+	// Tech is a value struct of scalars; %+v renders every field with
+	// its name, deterministically.
+	h.String("tech", fmt.Sprintf("%+v", p.Tech))
+	h.Uint("seed", p.Seed)
+	h.Int("chips", int64(p.Chips))
+	h.Int("dist_chips", int64(p.DistChips))
+	h.Uint("instructions", p.Instructions)
+	h.Strings("benchmarks", p.Benchmarks)
+	return h.Sum()
+}
+
+// provenance stamps the run configuration into a result. Experiments
+// that mutate p.Tech mid-run (Table 3, the Fig. 12 design points) call
+// it before the first mutation.
+func (p *Params) provenance() artifact.Provenance {
+	return artifact.Provenance{
+		SchemaVersion: artifact.SchemaVersion,
+		ParamsDigest:  Digest(p),
+		Seed:          p.Seed,
+		Tech:          p.Tech.Name,
+	}
+}
+
+// newTable starts a result's Table with the identity fields from its
+// registry Spec, so titles and kinds have a single source of truth.
+func newTable(id string, prov artifact.Provenance) *artifact.Table {
+	sp, ok := Lookup(id)
+	if !ok {
+		panic("experiments: no registry spec for " + id)
+	}
+	return &artifact.Table{ID: id, Title: sp.Title, Kind: sp.Kind, Prov: prov}
+}
+
+// printArtifact is the shared Print implementation: every result's
+// Print routes through the artifact text encoder, which dispatches
+// straight back to the result's RenderText — same bytes as the old
+// direct printing, now with the encoder as the single entry point.
+func printArtifact(w io.Writer, a artifact.Artifact) {
+	// EncodeText cannot fail on a TextRenderer; writer errors are
+	// ignored exactly as the old direct Fprintf calls ignored them.
+	_ = artifact.EncodeText(w, a)
+}
+
+// schemeKey is the snake_case column/metric key of a scheme.
+func schemeKey(s core.Scheme) string {
+	switch s {
+	case core.NoRefreshLRU:
+		return "norefresh_lru"
+	case core.PartialRefreshDSP:
+		return "partial_dsp"
+	case core.RSPFIFO:
+		return "rsp_fifo"
+	case core.RSPLRU:
+		return "rsp_lru"
+	}
+	return s.String()
+}
+
+// ---- fig1 ----
+
+// ArtifactID implements artifact.Artifact.
+func (r *Fig1Result) ArtifactID() string { return "fig1" }
+
+// Print emits the paper-shaped text form via the artifact text encoder.
+func (r *Fig1Result) Print(w io.Writer) { printArtifact(w, r) }
+
+// ArtifactTable builds the long-form (series, cycles, fraction) table.
+func (r *Fig1Result) ArtifactTable() *artifact.Table {
+	t := newTable("fig1", r.Prov)
+	benches := make([]string, 0, len(r.CDF))
+	for bench := range r.CDF {
+		benches = append(benches, bench)
+	}
+	sort.Strings(benches)
+	var series []string
+	var cycles []int64
+	var frac []float64
+	add := func(name string, vals []float64) {
+		for i, v := range vals {
+			series = append(series, name)
+			cycles = append(cycles, r.EdgesCycles[i])
+			frac = append(frac, v)
+		}
+	}
+	for _, b := range benches {
+		add(b, r.CDF[b])
+	}
+	add("average", r.Average)
+	t.Columns = []artifact.Column{
+		artifact.Strings("series", series),
+		artifact.Ints("cycles_since_fill", artifact.UnitCycles, cycles),
+		artifact.Floats("cum_fraction", artifact.UnitFraction, frac),
+	}
+	t.Metrics = []artifact.Metric{
+		artifact.Met("within_6k_cycles", artifact.UnitFraction, r.Within6K),
+	}
+	return t
+}
+
+// ---- fig4 ----
+
+// ArtifactID implements artifact.Artifact.
+func (r *Fig4Result) ArtifactID() string { return "fig4" }
+
+// Print emits the paper-shaped text form via the artifact text encoder.
+func (r *Fig4Result) Print(w io.Writer) { printArtifact(w, r) }
+
+// ArtifactTable builds the access-time-curve table.
+func (r *Fig4Result) ArtifactTable() *artifact.Table {
+	t := newTable("fig4", r.Prov)
+	t.Columns = []artifact.Column{
+		artifact.Floats("elapsed", artifact.UnitMicroseconds, r.ElapsedUS),
+		artifact.Floats("nominal", artifact.UnitPicoseconds, r.NominalPS),
+		artifact.Floats("weak", artifact.UnitPicoseconds, r.WeakPS),
+		artifact.Floats("strong", artifact.UnitPicoseconds, r.StrongPS),
+	}
+	t.Metrics = []artifact.Metric{
+		artifact.Met("sram_6t_access", artifact.UnitPicoseconds, r.SRAM6TPS),
+		artifact.Met("nominal_retention", artifact.UnitMicroseconds, r.NominalRetUS),
+		artifact.Met("weak_retention", artifact.UnitMicroseconds, r.WeakRetUS),
+		artifact.Met("strong_retention", artifact.UnitMicroseconds, r.StrongRetUS),
+	}
+	return t
+}
+
+// ---- fig6a ----
+
+// ArtifactID implements artifact.Artifact.
+func (r *Fig6aResult) ArtifactID() string { return "fig6a" }
+
+// Print emits the paper-shaped text form via the artifact text encoder.
+func (r *Fig6aResult) Print(w io.Writer) { printArtifact(w, r) }
+
+// ArtifactTable builds the frequency-histogram table.
+func (r *Fig6aResult) ArtifactTable() *artifact.Table {
+	t := newTable("fig6a", r.Prov)
+	t.Columns = []artifact.Column{
+		artifact.Floats("freq_bin", artifact.UnitRatio, r.Bins),
+		artifact.Floats("prob_1x", artifact.UnitFraction, r.Prob1X),
+		artifact.Floats("prob_2x", artifact.UnitFraction, r.Prob2X),
+	}
+	t.Metrics = []artifact.Metric{
+		artifact.Met("median_1x", artifact.UnitRatio, r.Median1X),
+		artifact.Met("median_2x", artifact.UnitRatio, r.Median2X),
+	}
+	return t
+}
+
+// ---- fig6b ----
+
+// ArtifactID implements artifact.Artifact.
+func (r *Fig6bResult) ArtifactID() string { return "fig6b" }
+
+// Print emits the paper-shaped text form via the artifact text encoder.
+func (r *Fig6bResult) Print(w io.Writer) { printArtifact(w, r) }
+
+// ArtifactTable builds the long-form (panel, series, x, value) table
+// covering all three Fig. 6b panels.
+func (r *Fig6bResult) ArtifactTable() *artifact.Table {
+	t := newTable("fig6b", r.Prov)
+	var panel, series []string
+	var x, value []float64
+	add := func(p, s string, xs, vs []float64) {
+		for i, v := range vs {
+			panel = append(panel, p)
+			series = append(series, s)
+			x = append(x, xs[i])
+			value = append(value, v)
+		}
+	}
+	add("retention_hist", "chip_prob", r.HistEdgesNS, r.HistProb)
+	add("performance", "mean_perf", r.RetentionNS, r.MeanPerf)
+	add("performance", "worst_perf", r.RetentionNS, r.WorstPerf)
+	add("power", "normal_dyn", r.RetentionNS, r.NormalDyn)
+	add("power", "refresh_dyn", r.RetentionNS, r.RefreshDyn)
+	add("power", "total_dyn", r.RetentionNS, r.TotalDyn)
+	t.Columns = []artifact.Column{
+		artifact.Strings("panel", panel),
+		artifact.Strings("series", series),
+		artifact.Floats("retention", artifact.UnitNanoseconds, x),
+		artifact.Floats("value", artifact.UnitRatio, value),
+	}
+	t.Metrics = []artifact.Metric{
+		artifact.Met("dead_chip_frac", artifact.UnitFraction, r.DeadChipFrac),
+	}
+	t.Attrs = map[string]string{"worst_bench": r.WorstBench}
+	return t
+}
+
+// ---- fig7 ----
+
+// ArtifactID implements artifact.Artifact.
+func (r *Fig7Result) ArtifactID() string { return "fig7" }
+
+// Print emits the paper-shaped text form via the artifact text encoder.
+func (r *Fig7Result) Print(w io.Writer) { printArtifact(w, r) }
+
+// ArtifactTable builds the leakage-histogram table.
+func (r *Fig7Result) ArtifactTable() *artifact.Table {
+	t := newTable("fig7", r.Prov)
+	t.Columns = []artifact.Column{
+		artifact.Floats("leakage_bin_max", artifact.UnitRatio, r.BinLabels),
+		artifact.Floats("prob_6t", artifact.UnitFraction, r.Prob6T),
+		artifact.Floats("prob_3t1d", artifact.UnitFraction, r.Prob3T1D),
+	}
+	t.Metrics = []artifact.Metric{
+		artifact.Met("over_1p5x_6t", artifact.UnitFraction, r.Over1p5x6T),
+		artifact.Met("over_golden_3t1d", artifact.UnitFraction, r.OverGolden3T1D),
+		artifact.Met("max_6t", artifact.UnitRatio, r.Max6T),
+		artifact.Met("max_3t1d", artifact.UnitRatio, r.Max3T1D),
+	}
+	return t
+}
+
+// ---- fig8 ----
+
+// ArtifactID implements artifact.Artifact.
+func (r *Fig8Result) ArtifactID() string { return "fig8" }
+
+// Print emits the paper-shaped text form via the artifact text encoder.
+func (r *Fig8Result) Print(w io.Writer) { printArtifact(w, r) }
+
+// ArtifactTable builds the per-chip retention-histogram table.
+func (r *Fig8Result) ArtifactTable() *artifact.Table {
+	t := newTable("fig8", r.Prov)
+	t.Columns = []artifact.Column{
+		artifact.Floats("retention_bin", artifact.UnitNanoseconds, r.BinCentersNS),
+		artifact.Floats("good", artifact.UnitFraction, r.Good),
+		artifact.Floats("median", artifact.UnitFraction, r.Median),
+		artifact.Floats("bad", artifact.UnitFraction, r.Bad),
+	}
+	t.Metrics = []artifact.Metric{
+		artifact.Met("good_dead", artifact.UnitFraction, r.GoodDead),
+		artifact.Met("median_dead", artifact.UnitFraction, r.MedianDead),
+		artifact.Met("bad_dead", artifact.UnitFraction, r.BadDead),
+		artifact.Met("discard_rate", artifact.UnitFraction, r.DiscardRate),
+		artifact.Met("good_chip", artifact.UnitCount, float64(r.GoodIdx)),
+		artifact.Met("median_chip", artifact.UnitCount, float64(r.MedianIdx)),
+		artifact.Met("bad_chip", artifact.UnitCount, float64(r.BadIdx)),
+	}
+	return t
+}
+
+// ---- fig9 ----
+
+// ArtifactID implements artifact.Artifact.
+func (r *Fig9Result) ArtifactID() string { return "fig9" }
+
+// Print emits the paper-shaped text form via the artifact text encoder.
+func (r *Fig9Result) Print(w io.Writer) { printArtifact(w, r) }
+
+// ArtifactTable builds the scheme-matrix table.
+func (r *Fig9Result) ArtifactTable() *artifact.Table {
+	t := newTable("fig9", r.Prov)
+	names := make([]string, len(r.Schemes))
+	for i, s := range r.Schemes {
+		names[i] = s.String()
+	}
+	t.Columns = []artifact.Column{
+		artifact.Strings("scheme", names),
+		artifact.Floats("good", artifact.UnitRatio, r.Perf[0]),
+		artifact.Floats("median", artifact.UnitRatio, r.Perf[1]),
+		artifact.Floats("bad", artifact.UnitRatio, r.Perf[2]),
+	}
+	t.Attrs = map[string]string{"best_scheme_bad_chip": r.Best().String()}
+	return t
+}
+
+// ---- fig10 ----
+
+// ArtifactID implements artifact.Artifact.
+func (r *Fig10Result) ArtifactID() string { return "fig10" }
+
+// Print emits the paper-shaped text form via the artifact text encoder.
+func (r *Fig10Result) Print(w io.Writer) { printArtifact(w, r) }
+
+// ArtifactTable builds the full per-chip population table — every chip
+// appears, not just the ranks the text form samples.
+func (r *Fig10Result) ArtifactTable() *artifact.Table {
+	t := newTable("fig10", r.Prov)
+	n := len(r.Order)
+	rank := make([]int64, n)
+	chip := make([]int64, n)
+	for i, ci := range r.Order {
+		rank[i] = int64(i + 1)
+		chip[i] = int64(ci)
+	}
+	t.Columns = []artifact.Column{
+		artifact.Ints("rank", artifact.UnitCount, rank),
+		artifact.Ints("chip", artifact.UnitCount, chip),
+	}
+	for si, s := range Fig10Schemes {
+		t.Columns = append(t.Columns,
+			artifact.Floats("perf_"+schemeKey(s), artifact.UnitRatio, r.Perf[si]))
+	}
+	for si, s := range Fig10Schemes {
+		t.Columns = append(t.Columns,
+			artifact.Floats("power_"+schemeKey(s), artifact.UnitRatio, r.Power[si]))
+	}
+	for si, s := range Fig10Schemes {
+		t.Metrics = append(t.Metrics,
+			artifact.Met("min_perf_"+schemeKey(s), artifact.UnitRatio, r.MinPerf[si]))
+	}
+	for si, s := range Fig10Schemes {
+		t.Metrics = append(t.Metrics,
+			artifact.Met("max_power_"+schemeKey(s), artifact.UnitRatio, r.MaxPower[si]))
+	}
+	return t
+}
+
+// ---- fig11 ----
+
+// ArtifactID implements artifact.Artifact.
+func (r *Fig11Result) ArtifactID() string { return "fig11" }
+
+// Print emits the paper-shaped text form via the artifact text encoder.
+func (r *Fig11Result) Print(w io.Writer) { printArtifact(w, r) }
+
+// ArtifactTable builds the long-form (chip, scheme, ways, perf) table.
+func (r *Fig11Result) ArtifactTable() *artifact.Table {
+	t := newTable("fig11", r.Prov)
+	chips := []string{"good", "median", "bad"}
+	var chip, scheme []string
+	var ways []int64
+	var perf []float64
+	for ci, name := range chips {
+		for si, s := range Fig10Schemes {
+			for ai, a := range r.Assocs {
+				chip = append(chip, name)
+				scheme = append(scheme, schemeKey(s))
+				ways = append(ways, int64(a))
+				perf = append(perf, r.Perf[ci][si][ai])
+			}
+		}
+	}
+	t.Columns = []artifact.Column{
+		artifact.Strings("chip", chip),
+		artifact.Strings("scheme", scheme),
+		artifact.Ints("ways", artifact.UnitCount, ways),
+		artifact.Floats("perf", artifact.UnitRatio, perf),
+	}
+	return t
+}
+
+// ---- fig12 ----
+
+// ArtifactID implements artifact.Artifact.
+func (r *Fig12Result) ArtifactID() string { return "fig12" }
+
+// Print emits the paper-shaped text form via the artifact text encoder.
+func (r *Fig12Result) Print(w io.Writer) { printArtifact(w, r) }
+
+// ArtifactTable builds the long-form (scheme, µ, σ/µ, perf) surface.
+func (r *Fig12Result) ArtifactTable() *artifact.Table {
+	t := newTable("fig12", r.Prov)
+	var scheme []string
+	var mu, sm, perf []float64
+	for si, s := range Fig10Schemes {
+		for mi, m := range r.MuCycles {
+			for gi, g := range r.SigmaMu {
+				scheme = append(scheme, schemeKey(s))
+				mu = append(mu, m)
+				sm = append(sm, g)
+				perf = append(perf, r.Perf[si][mi][gi])
+			}
+		}
+	}
+	t.Columns = []artifact.Column{
+		artifact.Strings("scheme", scheme),
+		artifact.Floats("mu", artifact.UnitCycles, mu),
+		artifact.Floats("sigma_over_mu", artifact.UnitFraction, sm),
+		artifact.Floats("perf", artifact.UnitRatio, perf),
+	}
+	t.Attrs = map[string]string{
+		"cliff_observed": strconv.FormatBool(r.CliffObserved()),
+	}
+	return t
+}
+
+// ---- fig12pts ----
+
+// ArtifactID implements artifact.Artifact.
+func (r *Fig12PointsResult) ArtifactID() string { return "fig12pts" }
+
+// Print emits the paper-shaped text form via the artifact text encoder.
+func (r *Fig12PointsResult) Print(w io.Writer) { printArtifact(w, r) }
+
+// ArtifactTable builds the design-point table.
+func (r *Fig12PointsResult) ArtifactTable() *artifact.Table {
+	t := newTable("fig12pts", r.Prov)
+	n := len(r.Points)
+	label := make([]string, n)
+	mu := make([]float64, n)
+	sm := make([]float64, n)
+	dead := make([]float64, n)
+	perf := make([][]float64, len(Fig10Schemes))
+	for si := range perf {
+		perf[si] = make([]float64, n)
+	}
+	for i, pt := range r.Points {
+		label[i] = pt.Point.Label
+		mu[i] = pt.MuCycles
+		sm[i] = pt.SigmaMu
+		dead[i] = pt.DeadFrac
+		for si := range Fig10Schemes {
+			perf[si][i] = pt.Perf[si]
+		}
+	}
+	t.Columns = []artifact.Column{
+		artifact.Strings("point", label),
+		artifact.Floats("mu", artifact.UnitCycles, mu),
+		artifact.Floats("sigma_over_mu", artifact.UnitFraction, sm),
+		artifact.Floats("dead_frac", artifact.UnitFraction, dead),
+	}
+	for si, s := range Fig10Schemes {
+		t.Columns = append(t.Columns,
+			artifact.Floats("perf_"+schemeKey(s), artifact.UnitRatio, perf[si]))
+	}
+	return t
+}
+
+// ---- tab1 ----
+
+// ArtifactID implements artifact.Artifact.
+func (r *Table1Result) ArtifactID() string { return "tab1" }
+
+// Print emits the paper-shaped text form via the artifact text encoder.
+func (r *Table1Result) Print(w io.Writer) { printArtifact(w, r) }
+
+// ArtifactTable builds the circuit-parameter table.
+func (r *Table1Result) ArtifactTable() *artifact.Table {
+	t := newTable("tab1", r.Prov)
+	n := len(r.Rows)
+	node := make([]string, n)
+	area := make([]float64, n)
+	ww := make([]float64, n)
+	wt := make([]float64, n)
+	ox := make([]float64, n)
+	fr := make([]float64, n)
+	for i, row := range r.Rows {
+		node[i] = row.Node
+		area[i] = row.CellAreaUM2
+		ww[i] = row.WireWidthUM
+		wt[i] = row.WireThickUM
+		ox[i] = row.OxideNM
+		fr[i] = row.FreqGHz
+	}
+	t.Columns = []artifact.Column{
+		artifact.Strings("node", node),
+		artifact.Floats("cell_area", artifact.UnitSquareMicrometers, area),
+		artifact.Floats("wire_width", artifact.UnitMicrometers, ww),
+		artifact.Floats("wire_thickness", artifact.UnitMicrometers, wt),
+		artifact.Floats("oxide", artifact.UnitNanometers, ox),
+		artifact.Floats("frequency", artifact.UnitGigahertz, fr),
+	}
+	return t
+}
+
+// ---- tab2 ----
+
+// ArtifactID implements artifact.Artifact.
+func (r *Table2Result) ArtifactID() string { return "tab2" }
+
+// Print emits the paper-shaped text form via the artifact text encoder.
+func (r *Table2Result) Print(w io.Writer) { printArtifact(w, r) }
+
+// ArtifactTable builds the processor-configuration table from the same
+// rows the text form prints.
+func (r *Table2Result) ArtifactTable() *artifact.Table {
+	t := newTable("tab2", r.Prov)
+	rows := r.rows()
+	param := make([]string, len(rows))
+	value := make([]string, len(rows))
+	for i, row := range rows {
+		param[i] = row[0]
+		value[i] = row[1]
+	}
+	t.Columns = []artifact.Column{
+		artifact.Strings("parameter", param),
+		artifact.Strings("value", value),
+	}
+	return t
+}
+
+// ---- tab3 ----
+
+// ArtifactID implements artifact.Artifact.
+func (r *Table3Result) ArtifactID() string { return "tab3" }
+
+// Print emits the paper-shaped text form via the artifact text encoder.
+func (r *Table3Result) Print(w io.Writer) { printArtifact(w, r) }
+
+// ArtifactTable builds the wide per-node design-comparison table.
+func (r *Table3Result) ArtifactTable() *artifact.Table {
+	t := newTable("tab3", r.Prov)
+	n := len(r.Rows)
+	node := make([]string, n)
+	fcols := []struct {
+		name string
+		unit string
+		get  func(*Table3Row) float64
+	}{
+		{"ideal_access", artifact.UnitPicoseconds, func(x *Table3Row) float64 { return x.IdealAccessPS }},
+		{"ideal_bips", artifact.UnitBIPS, func(x *Table3Row) float64 { return x.IdealBIPS }},
+		{"ideal_mean_dyn", artifact.UnitMilliwatts, func(x *Table3Row) float64 { return x.IdealMeanDynMW }},
+		{"ideal_full_dyn", artifact.UnitMilliwatts, func(x *Table3Row) float64 { return x.IdealFullDynMW }},
+		{"ideal_leak", artifact.UnitMilliwatts, func(x *Table3Row) float64 { return x.IdealLeakMW }},
+		{"sram_access", artifact.UnitPicoseconds, func(x *Table3Row) float64 { return x.SRAMAccessPS }},
+		{"sram_bips", artifact.UnitBIPS, func(x *Table3Row) float64 { return x.SRAMBIPS }},
+		{"sram_mean_dyn", artifact.UnitMilliwatts, func(x *Table3Row) float64 { return x.SRAMMeanDynMW }},
+		{"sram_full_dyn", artifact.UnitMilliwatts, func(x *Table3Row) float64 { return x.SRAMFullDynMW }},
+		{"sram_leak", artifact.UnitMilliwatts, func(x *Table3Row) float64 { return x.SRAMLeakMW }},
+		{"td_retention", artifact.UnitNanoseconds, func(x *Table3Row) float64 { return x.TDRetentionNS }},
+		{"td_bips", artifact.UnitBIPS, func(x *Table3Row) float64 { return x.TDBIPS }},
+		{"td_mean_dyn", artifact.UnitMilliwatts, func(x *Table3Row) float64 { return x.TDMeanDynMW }},
+		{"td_full_dyn", artifact.UnitMilliwatts, func(x *Table3Row) float64 { return x.TDFullDynMW }},
+		{"td_leak", artifact.UnitMilliwatts, func(x *Table3Row) float64 { return x.TDLeakMW }},
+	}
+	t.Columns = []artifact.Column{artifact.Strings("node", node)}
+	for _, fc := range fcols {
+		vals := make([]float64, n)
+		for i := range r.Rows {
+			node[i] = r.Rows[i].Node
+			vals[i] = fc.get(&r.Rows[i])
+		}
+		t.Columns = append(t.Columns, artifact.Floats(fc.name, fc.unit, vals))
+	}
+	t.Metrics = []artifact.Metric{
+		artifact.Met("power_saving_32nm", artifact.UnitFraction, r.PowerSavingFrac),
+	}
+	return t
+}
+
+// ---- sec4.1 ----
+
+// ArtifactID implements artifact.Artifact.
+func (r *GlobalRefreshResult) ArtifactID() string { return "sec4.1" }
+
+// Print emits the paper-shaped text form via the artifact text encoder.
+func (r *GlobalRefreshResult) Print(w io.Writer) { printArtifact(w, r) }
+
+// ArtifactTable builds the metrics-only §4.1 artifact.
+func (r *GlobalRefreshResult) ArtifactTable() *artifact.Table {
+	t := newTable("sec4.1", r.Prov)
+	t.Metrics = []artifact.Metric{
+		artifact.Met("retention", artifact.UnitNanoseconds, r.RetentionNS),
+		artifact.Met("refresh_pass", artifact.UnitNanoseconds, r.PassNS),
+		artifact.Met("bandwidth_share", artifact.UnitFraction, r.BandwidthFrac),
+		artifact.Met("normalized_perf", artifact.UnitRatio, r.NormalizedPerf),
+		artifact.Met("global_passes", artifact.UnitCount, float64(r.GlobalPasses)),
+	}
+	return t
+}
+
+// ---- yield ----
+
+// ArtifactID implements artifact.Artifact.
+func (r *YieldResult) ArtifactID() string { return "yield" }
+
+// Print emits the paper-shaped text form via the artifact text encoder.
+func (r *YieldResult) Print(w io.Writer) { printArtifact(w, r) }
+
+// ArtifactTable builds the yield-curve table.
+func (r *YieldResult) ArtifactTable() *artifact.Table {
+	t := newTable("yield", r.Prov)
+	t.Columns = []artifact.Column{
+		artifact.Floats("target_perf", artifact.UnitRatio, r.Thresholds),
+		artifact.Floats("sixt_1x", artifact.UnitFraction, r.SixT1X),
+		artifact.Floats("sixt_2x", artifact.UnitFraction, r.SixT2X),
+		artifact.Floats("global_3t1d", artifact.UnitFraction, r.Global3T1D),
+		artifact.Floats("rsp_fifo", artifact.UnitFraction, r.RSPFIFO),
+	}
+	t.Metrics = []artifact.Metric{
+		artifact.Met("discard_rate", artifact.UnitFraction, r.DiscardRate),
+	}
+	return t
+}

@@ -131,12 +131,17 @@ func TestFig12Shapes(t *testing.T) {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig1", "fig4", "fig6a", "fig6b", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig12pts", "yield", "tab1", "tab2", "tab3", "sec4.1"}
 	for _, id := range want {
-		if _, ok := Registry[id]; !ok {
+		sp, ok := Lookup(id)
+		if !ok {
 			t.Errorf("registry missing %q", id)
+			continue
+		}
+		if sp.Title == "" || sp.Kind == "" || sp.Run == nil {
+			t.Errorf("spec %q incomplete: %+v", id, sp)
 		}
 	}
-	if len(Registry) != len(want) {
-		t.Errorf("registry has %d entries, want %d", len(Registry), len(want))
+	if len(Specs) != len(want) {
+		t.Errorf("registry has %d entries, want %d", len(Specs), len(want))
 	}
 }
 
@@ -149,8 +154,8 @@ func TestRunUnknownExperiment(t *testing.T) {
 
 func TestStaticTablesPrint(t *testing.T) {
 	var buf bytes.Buffer
-	Table1(&buf)
-	Table2(&buf)
+	Table1(sharedQuick).Print(&buf)
+	Table2(sharedQuick).Print(&buf)
 	out := buf.String()
 	for _, want := range []string{"0.23", "4.3GHz", "80-entry", "2MB 4-way", "tournament"} {
 		if !strings.Contains(out, want) {

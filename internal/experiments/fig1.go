@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 
+	"tdcache/internal/artifact"
 	"tdcache/internal/core"
 	"tdcache/internal/cpu"
 	"tdcache/internal/sweep"
@@ -24,6 +25,8 @@ type Fig1Result struct {
 	Average []float64
 	// Within6K is the average fraction of references within 6K cycles.
 	Within6K float64
+	// Prov records the run that produced the result.
+	Prov artifact.Provenance
 }
 
 // Fig1 runs each benchmark against an ideal cache with the reuse-
@@ -31,6 +34,7 @@ type Fig1Result struct {
 func Fig1(p *Params) *Fig1Result {
 	edges := []int64{500, 1000, 2000, 3000, 4000, 5000, 6000, 8000, 10000, 12500, 15000, 17500, 20000}
 	res := &Fig1Result{
+		Prov:        p.provenance(),
 		EdgesCycles: edges,
 		CDF:         make(map[string][]float64, len(p.Benchmarks)),
 		Average:     make([]float64, len(edges)),
@@ -79,8 +83,8 @@ func Fig1(p *Params) *Fig1Result {
 	return res
 }
 
-// Print emits the Fig. 1 series as a text table.
-func (r *Fig1Result) Print(w io.Writer) {
+// RenderText emits the Fig. 1 series in the paper-shaped text form.
+func (r *Fig1Result) RenderText(w io.Writer) {
 	fmt.Fprintln(w, "Figure 1 — cache references vs. cycles since line fill (CDF)")
 	fmt.Fprintf(w, "%-10s", "cycles")
 	for _, e := range r.EdgesCycles {

@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 
+	"tdcache/internal/artifact"
 	"tdcache/internal/core"
 	"tdcache/internal/sweep"
 	"tdcache/internal/variation"
@@ -27,6 +28,8 @@ type Fig10Result struct {
 	// Aggregates for the printed summary.
 	MinPerf  [3]float64
 	MaxPower [3]float64
+	// Prov records the run that produced the result.
+	Prov artifact.Provenance
 }
 
 // Fig10 runs the three schemes across the whole severe population —
@@ -35,7 +38,7 @@ type Fig10Result struct {
 func Fig10(p *Params) *Fig10Result {
 	s := p.study(variation.Severe, p.Chips)
 	n := len(s.Chips)
-	r := &Fig10Result{}
+	r := &Fig10Result{Prov: p.provenance()}
 	perf := make([][3]float64, n)
 	pow := make([][3]float64, n)
 	p.Pool().Run(n*len(Fig10Schemes), func(job int, w *sweep.Worker) {
@@ -72,8 +75,9 @@ func Fig10(p *Params) *Fig10Result {
 	return r
 }
 
-// Print emits per-chip series plus the aggregate claims.
-func (r *Fig10Result) Print(w io.Writer) {
+// RenderText emits per-chip series plus the aggregate claims in the
+// paper-shaped text form.
+func (r *Fig10Result) RenderText(w io.Writer) {
 	fmt.Fprintln(w, "Figure 10 — normalized performance and dynamic power across the severe-variation population")
 	fmt.Fprintln(w, "(chips sorted by descending no-refresh/LRU performance)")
 	fmt.Fprintf(w, "%-6s", "chip")

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"tdcache/internal/artifact"
 	"tdcache/internal/sweep"
 	"tdcache/internal/variation"
 )
@@ -15,6 +16,8 @@ type Fig11Result struct {
 	Assocs []int
 	// Perf[chip][scheme][assoc] with chips ordered good, median, bad.
 	Perf [3][3][]float64
+	// Prov records the run that produced the result.
+	Prov artifact.Provenance
 }
 
 // Fig11 sweeps associativity. The 64 KB capacity is held constant
@@ -24,7 +27,7 @@ func Fig11(p *Params) *Fig11Result {
 	s := p.study(variation.Severe, p.Chips)
 	g, m, b := s.GoodMedianBad()
 	chips := []int{g, m, b}
-	r := &Fig11Result{Assocs: []int{1, 2, 4, 8}}
+	r := &Fig11Result{Assocs: []int{1, 2, 4, 8}, Prov: p.provenance()}
 	nS, nA := len(Fig10Schemes), len(r.Assocs)
 	perf := make([]float64, len(chips)*nS*nA)
 	p.Pool().Run(len(perf), func(job int, w *sweep.Worker) {
@@ -47,8 +50,8 @@ func Fig11(p *Params) *Fig11Result {
 	return r
 }
 
-// Print emits the Fig. 11 panels.
-func (r *Fig11Result) Print(w io.Writer) {
+// RenderText emits the Fig. 11 panels in the paper-shaped text form.
+func (r *Fig11Result) RenderText(w io.Writer) {
 	fmt.Fprintln(w, "Figure 11 — performance vs. associativity (severe variation, 64 KB held constant)")
 	names := []string{"good chip", "median chip", "bad chip"}
 	for ci, name := range names {

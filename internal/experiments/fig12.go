@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"tdcache/internal/artifact"
 	"tdcache/internal/core"
 	"tdcache/internal/stats"
 	"tdcache/internal/sweep"
@@ -19,11 +20,14 @@ type Fig12Result struct {
 	SigmaMu  []float64
 	// Perf[scheme][muIdx][sigmaIdx].
 	Perf [3][][]float64
+	// Prov records the run that produced the result.
+	Prov artifact.Provenance
 }
 
 // Fig12 sweeps the (µ, σ/µ) grid.
 func Fig12(p *Params) *Fig12Result {
 	r := &Fig12Result{
+		Prov:     p.provenance(),
 		MuCycles: []float64{2000, 6000, 12000, 20000, 30000},
 		SigmaMu:  []float64{0.05, 0.15, 0.25, 0.35},
 	}
@@ -89,8 +93,8 @@ func (r *Fig12Result) CliffObserved() bool {
 	return dropNoRef/n >= 0.008 && dropNoRef > dropRSP
 }
 
-// Print emits the three surfaces.
-func (r *Fig12Result) Print(w io.Writer) {
+// RenderText emits the three surfaces in the paper-shaped text form.
+func (r *Fig12Result) RenderText(w io.Writer) {
 	fmt.Fprintln(w, "Figure 12 — performance over retention µ and σ/µ (within-die only)")
 	for si, scheme := range Fig10Schemes {
 		fmt.Fprintf(w, "%s:\n", shortScheme(scheme))

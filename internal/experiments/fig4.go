@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"tdcache/internal/artifact"
 	"tdcache/internal/circuit"
 	"tdcache/internal/variation"
 )
@@ -21,6 +22,8 @@ type Fig4Result struct {
 	SRAM6TPS float64
 	// Retention times (µs) where each curve crosses the 6T line.
 	NominalRetUS, WeakRetUS, StrongRetUS float64
+	// Prov records the run that produced the result.
+	Prov artifact.Provenance
 }
 
 // Fig4 evaluates the access-time curves analytically.
@@ -37,6 +40,7 @@ func Fig4(p *Params) *Fig4Result {
 		T3: circuit.Device{DL: -sigmaL, DVth: -sigmaV},
 	}
 	r := &Fig4Result{
+		Prov:         p.provenance(),
 		SRAM6TPS:     t.AccessTime6T * circuit.SecondsToPico,
 		NominalRetUS: t.RetentionTime(circuit.Nominal3T1D) * circuit.SecondsToMicro,
 		WeakRetUS:    t.RetentionTime(weak) * circuit.SecondsToMicro,
@@ -55,8 +59,8 @@ func Fig4(p *Params) *Fig4Result {
 	return r
 }
 
-// Print emits the Fig. 4 curves.
-func (r *Fig4Result) Print(w io.Writer) {
+// RenderText emits the Fig. 4 curves in the paper-shaped text form.
+func (r *Fig4Result) RenderText(w io.Writer) {
 	fmt.Fprintln(w, "Figure 4 — 3T1D access time vs. time since write (32 nm)")
 	fmt.Fprintf(w, "6T nominal array access time: %.0f ps\n", r.SRAM6TPS)
 	fmt.Fprintf(w, "%-10s %12s %12s %12s\n", "elapsed", "nominal", "weak", "strong")

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"tdcache/internal/artifact"
 	"tdcache/internal/montecarlo"
 	"tdcache/internal/stats"
 	"tdcache/internal/variation"
@@ -20,6 +21,8 @@ type Fig6aResult struct {
 	Prob1X, Prob2X []float64
 	// Median1X and Median2X summarize the distributions.
 	Median1X, Median2X float64
+	// Prov records the run that produced the result.
+	Prov artifact.Provenance
 }
 
 // Fig6a runs the typical-variation Monte-Carlo frequency study.
@@ -34,6 +37,7 @@ func Fig6a(p *Params) *Fig6aResult {
 		h2.Add(f2[i])
 	}
 	r := &Fig6aResult{
+		Prov:     p.provenance(),
 		Prob1X:   h1.Fractions(),
 		Prob2X:   h2.Fractions(),
 		Median1X: stats.Quantile(f1, 0.5),
@@ -45,8 +49,8 @@ func Fig6a(p *Params) *Fig6aResult {
 	return r
 }
 
-// Print emits the Fig. 6a histogram.
-func (r *Fig6aResult) Print(w io.Writer) {
+// RenderText emits the Fig. 6a histogram in the paper-shaped text form.
+func (r *Fig6aResult) RenderText(w io.Writer) {
 	fmt.Fprintln(w, "Figure 6a — 6T cache normalized frequency/performance distribution (typical variation)")
 	fmt.Fprintf(w, "%-12s", "freq bin")
 	for _, b := range r.Bins {
@@ -80,6 +84,8 @@ type Fig7Result struct {
 	OverGolden3T1D float64
 	// Max6T and Max3T1D are the worst chips.
 	Max6T, Max3T1D float64
+	// Prov records the run that produced the result.
+	Prov artifact.Provenance
 }
 
 // fig7Bins are the paper's x-axis labels (upper edge of each bucket).
@@ -91,6 +97,7 @@ func Fig7(p *Params) *Fig7Result {
 	l6 := s.Column(func(c *montecarlo.Chip) float64 { return c.Leak6T1X })
 	l3 := s.Column(func(c *montecarlo.Chip) float64 { return c.Leak3T1D })
 	r := &Fig7Result{
+		Prov:      p.provenance(),
 		BinLabels: fig7Bins,
 		Prob6T:    bucketize(l6, fig7Bins),
 		Prob3T1D:  bucketize(l3, fig7Bins),
@@ -137,8 +144,8 @@ func bucketize(xs []float64, edges []float64) []float64 {
 	return out
 }
 
-// Print emits the Fig. 7 histograms.
-func (r *Fig7Result) Print(w io.Writer) {
+// RenderText emits the Fig. 7 histograms in the paper-shaped text form.
+func (r *Fig7Result) RenderText(w io.Writer) {
 	fmt.Fprintln(w, "Figure 7 — cache leakage power distribution vs. golden 6T (typical variation)")
 	fmt.Fprintf(w, "%-12s", "leakage ≤")
 	for _, b := range r.BinLabels {

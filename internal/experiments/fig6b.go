@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"tdcache/internal/artifact"
 	"tdcache/internal/circuit"
 	"tdcache/internal/core"
 	"tdcache/internal/montecarlo"
@@ -33,12 +34,14 @@ type Fig6bResult struct {
 	// NormalDyn / RefreshDyn / TotalDyn: dynamic power vs. ideal 6T
 	// (Fig. 6b bottom).
 	NormalDyn, RefreshDyn, TotalDyn []float64
+	// Prov records the run that produced the result.
+	Prov artifact.Provenance
 }
 
 // Fig6b runs the retention histogram (Monte Carlo) and the global-
 // refresh performance/power sweep.
 func Fig6b(p *Params) *Fig6bResult {
-	r := &Fig6bResult{}
+	r := &Fig6bResult{Prov: p.provenance()}
 
 	// Top plot: retention histogram across the typical population.
 	s := p.study(variation.Typical, p.DistChips)
@@ -97,8 +100,8 @@ func Fig6b(p *Params) *Fig6bResult {
 	return r
 }
 
-// Print emits the three Fig. 6b panels.
-func (r *Fig6bResult) Print(w io.Writer) {
+// RenderText emits the three Fig. 6b panels in the paper-shaped form.
+func (r *Fig6bResult) RenderText(w io.Writer) {
 	fmt.Fprintln(w, "Figure 6b — 3T1D cache under typical variation, global refresh")
 	fmt.Fprintln(w, "(top) cache retention distribution:")
 	fmt.Fprintf(w, "%-14s", "retention(ns)")
@@ -157,6 +160,8 @@ type GlobalRefreshResult struct {
 	BandwidthFrac  float64
 	NormalizedPerf float64
 	GlobalPasses   uint64
+	// Prov records the run that produced the result.
+	Prov artifact.Provenance
 }
 
 // GlobalRefreshNoVariation runs the §4.1 sanity experiment.
@@ -176,6 +181,7 @@ func GlobalRefreshNoVariation(p *Params) *GlobalRefreshResult {
 	}
 	passCycles := float64(1024 / 4 * core.DefaultConfig(core.NoRefreshLRU).RefreshCycles)
 	return &GlobalRefreshResult{
+		Prov:           p.provenance(),
 		RetentionNS:    float64(retCycles) * cyc * circuit.SecondsToNano,
 		PassNS:         passCycles * cyc * circuit.SecondsToNano,
 		BandwidthFrac:  passCycles / float64(retCycles),
@@ -184,8 +190,8 @@ func GlobalRefreshNoVariation(p *Params) *GlobalRefreshResult {
 	}
 }
 
-// Print emits the §4.1 numbers.
-func (r *GlobalRefreshResult) Print(w io.Writer) {
+// RenderText emits the §4.1 numbers in the paper-shaped text form.
+func (r *GlobalRefreshResult) RenderText(w io.Writer) {
 	fmt.Fprintln(w, "§4.1 — global refresh without process variation (32 nm)")
 	fmt.Fprintf(w, "cache retention: %.0f ns (paper: ~6000 ns)\n", r.RetentionNS)
 	fmt.Fprintf(w, "refresh pass: %.1f ns (paper: 476.3 ns)\n", r.PassNS)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"tdcache/internal/artifact"
 	"tdcache/internal/circuit"
 	"tdcache/internal/stats"
 	"tdcache/internal/variation"
@@ -24,6 +25,8 @@ type Fig8Result struct {
 	DiscardRate float64
 	// ChipIndices records which population members were selected.
 	GoodIdx, MedianIdx, BadIdx int
+	// Prov records the run that produced the result.
+	Prov artifact.Provenance
 }
 
 // Fig8 selects the three analysis chips from the severe study and bins
@@ -32,6 +35,7 @@ func Fig8(p *Params) *Fig8Result {
 	s := p.study(variation.Severe, p.Chips)
 	g, m, b := s.GoodMedianBad()
 	r := &Fig8Result{
+		Prov:    p.provenance(),
 		GoodIdx: g, MedianIdx: m, BadIdx: b,
 		DiscardRate: s.DiscardRate(),
 		GoodDead:    s.Chips[g].DeadFrac,
@@ -56,8 +60,8 @@ func Fig8(p *Params) *Fig8Result {
 	return r
 }
 
-// Print emits the Fig. 8 histograms.
-func (r *Fig8Result) Print(w io.Writer) {
+// RenderText emits the Fig. 8 histograms in the paper-shaped text form.
+func (r *Fig8Result) RenderText(w io.Writer) {
 	fmt.Fprintln(w, "Figure 8 — line retention distribution for good/median/bad chips (severe variation)")
 	fmt.Fprintf(w, "%-12s", "retention(ns)")
 	for _, c := range r.BinCentersNS {

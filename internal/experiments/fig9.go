@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"tdcache/internal/artifact"
 	"tdcache/internal/core"
 	"tdcache/internal/sweep"
 	"tdcache/internal/variation"
@@ -16,6 +17,8 @@ type Fig9Result struct {
 	Schemes []core.Scheme
 	// Perf[chip][scheme] with chip order good, median, bad.
 	Perf [3][]float64
+	// Prov records the run that produced the result.
+	Prov artifact.Provenance
 }
 
 // Fig9 runs the full scheme matrix: 3 chips × 8 schemes, each a whole
@@ -24,7 +27,7 @@ func Fig9(p *Params) *Fig9Result {
 	s := p.study(variation.Severe, p.Chips)
 	g, m, b := s.GoodMedianBad()
 	chips := []int{g, m, b}
-	r := &Fig9Result{Schemes: core.Fig9Schemes}
+	r := &Fig9Result{Schemes: core.Fig9Schemes, Prov: p.provenance()}
 	nS := len(core.Fig9Schemes)
 	perf := make([]float64, len(chips)*nS)
 	p.Pool().Run(len(perf), func(job int, w *sweep.Worker) {
@@ -52,8 +55,8 @@ func (r *Fig9Result) Best() core.Scheme {
 	return r.Schemes[best]
 }
 
-// Print emits the Fig. 9 bars.
-func (r *Fig9Result) Print(w io.Writer) {
+// RenderText emits the Fig. 9 bars in the paper-shaped text form.
+func (r *Fig9Result) RenderText(w io.Writer) {
 	fmt.Fprintln(w, "Figure 9 — normalized performance of retention schemes (severe variation)")
 	fmt.Fprintf(w, "%-24s %8s %8s %8s\n", "scheme", "good", "median", "bad")
 	for i, s := range r.Schemes {

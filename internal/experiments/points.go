@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"tdcache/internal/artifact"
 	"tdcache/internal/circuit"
 	"tdcache/internal/stats"
 	"tdcache/internal/variation"
@@ -49,13 +50,17 @@ type PointResult struct {
 // Fig12PointsResult reproduces the Fig. 12 design-point annotations.
 type Fig12PointsResult struct {
 	Points []PointResult
+	// Prov records the run that produced the result.
+	Prov artifact.Provenance
 }
 
 // Fig12PointsRun evaluates each design point: derate the node to the
 // point's Vdd, sample a small chip population under its scenario, take
 // the median chip, and run the three schemes.
 func Fig12PointsRun(p *Params) *Fig12PointsResult {
-	res := &Fig12PointsResult{}
+	// Provenance is stamped before the per-point Tech mutations below so
+	// it reflects the caller's configuration.
+	res := &Fig12PointsResult{Prov: p.provenance()}
 	savedTech := p.Tech
 	defer func() { p.Tech = savedTech }()
 
@@ -99,8 +104,8 @@ func Fig12PointsRun(p *Params) *Fig12PointsResult {
 	return res
 }
 
-// Print emits the design-point table.
-func (r *Fig12PointsResult) Print(w io.Writer) {
+// RenderText emits the design-point table in the paper-shaped form.
+func (r *Fig12PointsResult) RenderText(w io.Writer) {
 	fmt.Fprintln(w, "Figure 12 design points — real (node, Vdd, variation) combinations on the µ-σ/µ surface")
 	fmt.Fprintf(w, "%-24s %10s %8s %7s %10s %10s %10s\n",
 		"point", "µ(cycles)", "σ/µ", "dead", "noRef/LRU", "part/DSP", "RSP-FIFO")

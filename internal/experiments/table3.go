@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"tdcache/internal/artifact"
 	"tdcache/internal/circuit"
 	"tdcache/internal/core"
 	"tdcache/internal/montecarlo"
@@ -41,6 +42,8 @@ type Table3Result struct {
 	Rows []Table3Row
 	// Paper anchors for the printout.
 	PowerSavingFrac float64 // 3T1D total cache power saving vs ideal at 32nm
+	// Prov records the run that produced the result.
+	Prov artifact.Provenance
 }
 
 // Table3 runs the per-node simulations. Per node it needs: the ideal
@@ -48,7 +51,9 @@ type Table3Result struct {
 // frequency, leakage, and retention), and a global-refresh suite at the
 // median retention.
 func Table3(p *Params) *Table3Result {
-	res := &Table3Result{}
+	// Provenance is stamped before the per-node Tech mutations below so
+	// it reflects the caller's configuration.
+	res := &Table3Result{Prov: p.provenance()}
 	savedTech := p.Tech
 	defer func() { p.Tech = savedTech }()
 
@@ -126,8 +131,8 @@ func Table3(p *Params) *Table3Result {
 	return res
 }
 
-// Print emits the Table 3 rows.
-func (r *Table3Result) Print(w io.Writer) {
+// RenderText emits the Table 3 rows in the paper-shaped text form.
+func (r *Table3Result) RenderText(w io.Writer) {
 	fmt.Fprintln(w, "Table 3 — cache designs across technology nodes (median typical-variation chips)")
 	fmt.Fprintf(w, "%-6s | %8s %6s %8s %8s %8s | %8s %6s %8s %8s %8s | %9s %6s %8s %8s %8s\n",
 		"node",

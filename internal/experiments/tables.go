@@ -4,34 +4,92 @@ import (
 	"fmt"
 	"io"
 
+	"tdcache/internal/artifact"
 	"tdcache/internal/circuit"
 	"tdcache/internal/cpu"
 )
 
-// Table1 prints the circuit-simulation parameters (configuration, not a
-// measurement — included so the harness covers every paper artifact).
-func Table1(w io.Writer) {
+// Table1Row is one technology node's circuit parameters, copied out of
+// circuit.Tech into plain fields.
+type Table1Row struct {
+	Node                                           string
+	CellAreaUM2, WireWidthUM, WireThickUM, OxideNM float64
+	FreqGHz                                        float64
+}
+
+// Table1Result reproduces Table 1: the circuit-simulation parameters
+// per technology node (configuration, not a measurement — included so
+// the harness covers every paper artifact, with the same provenance
+// stamping as the measured experiments).
+type Table1Result struct {
+	// Rows are the per-node parameter rows, in circuit.Nodes order.
+	Rows []Table1Row
+	// Prov records the run that produced the result.
+	Prov artifact.Provenance
+}
+
+// Table1 captures the circuit parameters of every technology node.
+func Table1(p *Params) *Table1Result {
+	r := &Table1Result{Prov: p.provenance()}
+	for _, t := range circuit.Nodes {
+		r.Rows = append(r.Rows, Table1Row{
+			Node:        t.Name,
+			CellAreaUM2: t.CellAreaUM2,
+			WireWidthUM: t.WireWidthUM,
+			WireThickUM: t.WireThickUM,
+			OxideNM:     t.OxideNM,
+			FreqGHz:     t.FreqGHz,
+		})
+	}
+	return r
+}
+
+// RenderText emits the Table 1 rows in the paper-shaped text form.
+func (r *Table1Result) RenderText(w io.Writer) {
 	fmt.Fprintln(w, "Table 1 — circuit simulation parameters")
 	fmt.Fprintf(w, "%-8s %12s %10s %12s %12s %10s\n",
 		"node", "cell area", "wire w", "wire thick", "oxide", "frequency")
-	for _, t := range circuit.Nodes {
+	for _, t := range r.Rows {
 		fmt.Fprintf(w, "%-8s %10.2fum2 %8.2fum %10.2fum %10.1fnm %8.1fGHz\n",
-			t.Name, t.CellAreaUM2, t.WireWidthUM, t.WireThickUM, t.OxideNM, t.FreqGHz)
+			t.Node, t.CellAreaUM2, t.WireWidthUM, t.WireThickUM, t.OxideNM, t.FreqGHz)
 	}
 }
 
-// Table2 prints the baseline processor configuration.
-func Table2(w io.Writer) {
-	cfg := cpu.DefaultConfig()
-	l2 := cpu.DefaultL2()
+// Table2Result reproduces Table 2: the baseline processor
+// configuration the architecture simulations run on.
+type Table2Result struct {
+	// Cfg and L2 are the pipeline and L2 configurations in force.
+	Cfg cpu.Config
+	L2  cpu.L2Config
+	// Prov records the run that produced the result.
+	Prov artifact.Provenance
+}
+
+// Table2 captures the baseline processor configuration.
+func Table2(p *Params) *Table2Result {
+	return &Table2Result{Cfg: cpu.DefaultConfig(), L2: cpu.DefaultL2(), Prov: p.provenance()}
+}
+
+// rows returns the parameter/value pairs in table order; RenderText
+// and the artifact builder share it so the two forms can't drift.
+func (r *Table2Result) rows() [][2]string {
+	return [][2]string{
+		{"Issue width", fmt.Sprintf("%d instructions", r.Cfg.IssueWidth)},
+		{"Issue queues", fmt.Sprintf("%d-entry INT, %d-entry FP", r.Cfg.IntIQ, r.Cfg.FpIQ)},
+		{"Load queue", fmt.Sprintf("%d entries", r.Cfg.LoadQ)},
+		{"Store queue", fmt.Sprintf("%d entries", r.Cfg.StoreQ)},
+		{"Reorder buffer", fmt.Sprintf("%d-entry", r.Cfg.ROBSize)},
+		{"I-cache, D-cache", "64KB, 4-way set associative"},
+		{"Functional units", fmt.Sprintf("%d INT, %d FP", r.Cfg.IntFUs, r.Cfg.FpFUs)},
+		{"L2 cache", fmt.Sprintf("%dMB %d-way", r.L2.SizeKB/1024, r.L2.Ways)},
+		{"Branch predictor", "21264 tournament predictor"},
+	}
+}
+
+// RenderText emits the Table 2 rows in the paper-shaped text form.
+func (r *Table2Result) RenderText(w io.Writer) {
 	fmt.Fprintln(w, "Table 2 — baseline processor configuration")
-	fmt.Fprintf(w, "%-28s %d instructions\n", "Issue width", cfg.IssueWidth)
-	fmt.Fprintf(w, "%-28s %d-entry INT, %d-entry FP\n", "Issue queues", cfg.IntIQ, cfg.FpIQ)
-	fmt.Fprintf(w, "%-28s %d entries\n", "Load queue", cfg.LoadQ)
-	fmt.Fprintf(w, "%-28s %d entries\n", "Store queue", cfg.StoreQ)
-	fmt.Fprintf(w, "%-28s %d-entry\n", "Reorder buffer", cfg.ROBSize)
-	fmt.Fprintf(w, "%-28s 64KB, 4-way set associative\n", "I-cache, D-cache")
-	fmt.Fprintf(w, "%-28s %d INT, %d FP\n", "Functional units", cfg.IntFUs, cfg.FpFUs)
-	fmt.Fprintf(w, "%-28s %dMB %d-way\n", "L2 cache", l2.SizeKB/1024, l2.Ways)
-	fmt.Fprintf(w, "%-28s 21264 tournament predictor\n", "Branch predictor")
+	for _, row := range r.rows() {
+		fmt.Fprintf(w, "%-28s %s\n", row[0], row[1])
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"tdcache/internal/artifact"
 	"tdcache/internal/core"
 	"tdcache/internal/sweep"
 	"tdcache/internal/variation"
@@ -22,6 +23,8 @@ type YieldResult struct {
 	RSPFIFO        []float64
 	// DiscardRate is the global scheme's hard floor.
 	DiscardRate float64
+	// Prov records the run that produced the result.
+	Prov artifact.Provenance
 }
 
 // Yield computes the curves over the severe-variation population. The
@@ -33,6 +36,7 @@ type YieldResult struct {
 func Yield(p *Params) *YieldResult {
 	s := p.study(variation.Severe, p.Chips)
 	r := &YieldResult{
+		Prov:        p.provenance(),
 		Thresholds:  []float64{0.80, 0.85, 0.90, 0.95, 0.97, 0.99},
 		DiscardRate: s.DiscardRate(),
 	}
@@ -74,8 +78,8 @@ func Yield(p *Params) *YieldResult {
 	return r
 }
 
-// Print emits the yield curves.
-func (r *YieldResult) Print(w io.Writer) {
+// RenderText emits the yield curves in the paper-shaped text form.
+func (r *YieldResult) RenderText(w io.Writer) {
 	fmt.Fprintln(w, "Yield curves under severe variation (fraction of chips meeting a performance target)")
 	fmt.Fprintf(w, "%-16s", "target perf ≥")
 	for _, th := range r.Thresholds {

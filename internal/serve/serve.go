@@ -1,0 +1,205 @@
+// Package serve exposes the experiment registry over HTTP, computing
+// through the content-addressed artifact store so repeated requests for
+// the same configuration never re-simulate.
+//
+// Routes:
+//
+//	GET /v1/experiments                      — registry listing (JSON)
+//	GET /v1/experiments/{id}?format=&quick=  — one artifact (text/json/csv)
+//
+// Artifact responses carry a strong ETag derived from the artifact
+// content digest; requests presenting it in If-None-Match receive
+// 304 Not Modified without touching the simulator or the disk bytes.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"tdcache/internal/artifact"
+	"tdcache/internal/experiments"
+	"tdcache/internal/sweep"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Store is the backing artifact store (required).
+	Store *artifact.Store
+	// Full are the parameters used when quick=false (default
+	// experiments.DefaultParams()).
+	Full *experiments.Params
+	// Quick are the parameters used when quick=true (default
+	// experiments.QuickParams()).
+	Quick *experiments.Params
+}
+
+// computeKey identifies one cacheable computation.
+type computeKey struct {
+	id    string
+	quick bool
+}
+
+// computeResult is the memoized outcome: the store manifest of the
+// computed (or found) artifact. Compute errors are cached too — the
+// computation is a pure function of the key, so an error is as
+// deterministic as a result.
+type computeResult struct {
+	meta *artifact.Meta
+	err  error
+}
+
+// Server serves experiment artifacts through the store.
+type Server struct {
+	store *artifact.Store
+	full  *experiments.Params
+	quick *experiments.Params
+
+	// memo deduplicates concurrent requests for the same artifact
+	// (singleflight): only the first caller computes, the rest block on
+	// the same entry.
+	memo sweep.Memo[computeKey, computeResult]
+	// computeMu serializes the simulation itself: both parameter sets
+	// own a single sweep.Pool each, and Pool.Run is a single-coordinator
+	// API — concurrent experiment builds must not share a pool.
+	computeMu sync.Mutex
+	// computes counts actual simulations (store misses); tests assert
+	// repeated and restarted servers serve from the store instead.
+	computes atomic.Uint64
+
+	mux *http.ServeMux
+}
+
+// New builds a Server over the store.
+func New(o Options) (*Server, error) {
+	if o.Store == nil {
+		return nil, errors.New("serve: Options.Store is required")
+	}
+	s := &Server{store: o.Store, full: o.Full, quick: o.Quick}
+	if s.full == nil {
+		s.full = experiments.DefaultParams()
+	}
+	if s.quick == nil {
+		s.quick = experiments.QuickParams()
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /v1/experiments", s.handleList)
+	s.mux.HandleFunc("GET /v1/experiments/{id}", s.handleGet)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Computes reports how many artifacts were actually simulated (as
+// opposed to served from the store).
+func (s *Server) Computes() uint64 { return s.computes.Load() }
+
+// params selects the parameter set for a request.
+func (s *Server) params(quick bool) *experiments.Params {
+	if quick {
+		return s.quick
+	}
+	return s.full
+}
+
+// listEntry is one row of the registry listing.
+type listEntry struct {
+	ID    string        `json:"id"`
+	Title string        `json:"title"`
+	Kind  artifact.Kind `json:"kind"`
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	entries := make([]listEntry, 0, len(experiments.Specs))
+	for _, sp := range experiments.Specs {
+		entries = append(entries, listEntry{ID: sp.ID, Title: sp.Title, Kind: sp.Kind})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(entries)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := experiments.Lookup(id); !ok {
+		writeErr(w, http.StatusNotFound, fmt.Sprintf("unknown experiment %q", id))
+		return
+	}
+	format := artifact.FormatText
+	if q := r.URL.Query().Get("format"); q != "" {
+		var err error
+		if format, err = artifact.ParseFormat(q); err != nil {
+			writeErr(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
+	quick := false
+	if q := r.URL.Query().Get("quick"); q != "" {
+		var err error
+		if quick, err = strconv.ParseBool(q); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Sprintf("bad quick value %q", q))
+			return
+		}
+	}
+
+	res := s.memo.Do(computeKey{id: id, quick: quick}, func() computeResult {
+		return s.compute(id, quick)
+	})
+	if res.err != nil {
+		writeErr(w, http.StatusInternalServerError, res.err.Error())
+		return
+	}
+
+	etag := `"` + res.meta.ArtifactDigest + `"`
+	w.Header().Set("ETag", etag)
+	if match := r.Header.Get("If-None-Match"); match == etag || match == "*" {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	data, _, err := s.store.ReadFormat(id, res.meta.ParamsDigest, format)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", format.ContentType())
+	_, _ = w.Write(data)
+}
+
+// compute resolves one artifact: store hit if a previous process (or
+// request) already produced it, otherwise simulate once and persist.
+func (s *Server) compute(id string, quick bool) computeResult {
+	p := s.params(quick)
+	digest := experiments.Digest(p)
+	_, meta, err := s.store.Get(id, digest)
+	if err == nil {
+		return computeResult{meta: meta}
+	}
+	if !errors.Is(err, artifact.ErrMiss) {
+		return computeResult{err: err}
+	}
+	s.computes.Add(1)
+	s.computeMu.Lock()
+	a, err := experiments.Build(id, p)
+	s.computeMu.Unlock()
+	if err != nil {
+		return computeResult{err: err}
+	}
+	meta, err = s.store.Put(a)
+	if err != nil {
+		return computeResult{err: err}
+	}
+	return computeResult{meta: meta}
+}
+
+// writeErr emits a JSON error body.
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -1,0 +1,243 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"tdcache/internal/artifact"
+	"tdcache/internal/experiments"
+)
+
+// tiny returns reduced parameters so handler tests simulate in
+// milliseconds. Both Full and Quick slots get tiny params; the quick
+// set is further reduced so the two digests differ.
+func tiny() *experiments.Params {
+	p := experiments.QuickParams()
+	p.Chips = 4
+	p.DistChips = 6
+	p.Instructions = 3000
+	p.Benchmarks = []string{"gzip", "mcf"}
+	return p
+}
+
+func tinier() *experiments.Params {
+	p := tiny()
+	p.Instructions = 2000
+	return p
+}
+
+func newTestServer(t *testing.T, dir string) *Server {
+	t.Helper()
+	st, err := artifact.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Options{Store: st, Full: tiny(), Quick: tinier()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func get(s *Server, path string, hdr map[string]string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestListExperiments(t *testing.T) {
+	s := newTestServer(t, t.TempDir())
+	rec := get(s, "/v1/experiments", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var entries []struct {
+		ID    string `json:"id"`
+		Title string `json:"title"`
+		Kind  string `json:"kind"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &entries); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(experiments.Specs) {
+		t.Fatalf("listed %d experiments, want %d", len(entries), len(experiments.Specs))
+	}
+	for i, sp := range experiments.Specs {
+		if entries[i].ID != sp.ID || entries[i].Title != sp.Title || entries[i].Kind != string(sp.Kind) {
+			t.Errorf("entry %d = %+v, want %v", i, entries[i], sp)
+		}
+	}
+}
+
+// TestServeFromStore is the acceptance assertion: the first request
+// simulates, every later request — including from a brand-new server
+// process over the same store directory — is served from disk.
+func TestServeFromStore(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestServer(t, dir)
+	rec := get(s, "/v1/experiments/tab1?format=json", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	if got := s.Computes(); got != 1 {
+		t.Fatalf("computes after first request = %d, want 1", got)
+	}
+	rec2 := get(s, "/v1/experiments/tab1?format=json", nil)
+	if rec2.Code != http.StatusOK || s.Computes() != 1 {
+		t.Fatalf("second request recomputed (computes = %d)", s.Computes())
+	}
+	if rec.Body.String() != rec2.Body.String() {
+		t.Error("repeated request returned different bytes")
+	}
+
+	// A fresh server over the same store must not re-simulate.
+	restarted := newTestServer(t, dir)
+	rec3 := get(restarted, "/v1/experiments/tab1?format=json", nil)
+	if rec3.Code != http.StatusOK {
+		t.Fatalf("status after restart = %d", rec3.Code)
+	}
+	if got := restarted.Computes(); got != 0 {
+		t.Errorf("restarted server simulated %d times, want 0 (store hit)", got)
+	}
+	if rec3.Body.String() != rec.Body.String() {
+		t.Error("restarted server returned different bytes")
+	}
+}
+
+func TestETagRevalidation(t *testing.T) {
+	s := newTestServer(t, t.TempDir())
+	rec := get(s, "/v1/experiments/tab2", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	etag := rec.Header().Get("ETag")
+	if len(etag) < 4 || etag[0] != '"' {
+		t.Fatalf("ETag = %q, want quoted digest", etag)
+	}
+	rec304 := get(s, "/v1/experiments/tab2", map[string]string{"If-None-Match": etag})
+	if rec304.Code != http.StatusNotModified {
+		t.Fatalf("revalidation status = %d, want 304", rec304.Code)
+	}
+	if rec304.Body.Len() != 0 {
+		t.Error("304 response has a body")
+	}
+	stale := get(s, "/v1/experiments/tab2", map[string]string{"If-None-Match": `"0000"`})
+	if stale.Code != http.StatusOK {
+		t.Errorf("stale ETag status = %d, want 200", stale.Code)
+	}
+}
+
+func TestFormatsAndContentTypes(t *testing.T) {
+	s := newTestServer(t, t.TempDir())
+	for format, want := range map[string]string{
+		"text": "text/plain; charset=utf-8",
+		"json": "application/json",
+		"csv":  "text/csv; charset=utf-8",
+	} {
+		rec := get(s, "/v1/experiments/tab1?format="+format, nil)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: status = %d", format, rec.Code)
+		}
+		if ct := rec.Header().Get("Content-Type"); ct != want {
+			t.Errorf("%s: content type = %q, want %q", format, ct, want)
+		}
+		if rec.Body.Len() == 0 {
+			t.Errorf("%s: empty body", format)
+		}
+	}
+	// All formats share one compute: the store fans the encodings out.
+	if got := s.Computes(); got != 1 {
+		t.Errorf("computes = %d, want 1 across all formats", got)
+	}
+}
+
+func TestQuickSelectsSeparateArtifact(t *testing.T) {
+	s := newTestServer(t, t.TempDir())
+	full := get(s, "/v1/experiments/fig4", nil)
+	quick := get(s, "/v1/experiments/fig4?quick=true", nil)
+	if full.Code != http.StatusOK || quick.Code != http.StatusOK {
+		t.Fatalf("status = %d / %d", full.Code, quick.Code)
+	}
+	if s.Computes() != 2 {
+		t.Errorf("computes = %d, want 2 (distinct parameter digests)", s.Computes())
+	}
+	if full.Header().Get("ETag") == quick.Header().Get("ETag") {
+		t.Error("full and quick artifacts share an ETag")
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	s := newTestServer(t, t.TempDir())
+	cases := []struct {
+		path string
+		code int
+	}{
+		{"/v1/experiments/nonesuch", http.StatusNotFound},
+		{"/v1/experiments/tab1?format=yaml", http.StatusBadRequest},
+		{"/v1/experiments/tab1?quick=perhaps", http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		rec := get(s, c.path, nil)
+		if rec.Code != c.code {
+			t.Errorf("%s: status = %d, want %d", c.path, rec.Code, c.code)
+		}
+		var body map[string]string
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body["error"] == "" {
+			t.Errorf("%s: error body = %q", c.path, rec.Body)
+		}
+	}
+}
+
+// TestConcurrentRequests exercises the singleflight and the compute
+// mutex under the race detector: many clients, same and different IDs,
+// one simulation per artifact.
+func TestConcurrentRequests(t *testing.T) {
+	s := newTestServer(t, t.TempDir())
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	ids := []string{"tab1", "tab2", "fig4"}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(ids)*8)
+	for i := 0; i < 8; i++ {
+		for _, id := range ids {
+			wg.Add(1)
+			go func(id string) {
+				defer wg.Done()
+				resp, err := http.Get(ts.URL + "/v1/experiments/" + id + "?format=json")
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer resp.Body.Close()
+				if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("%s: status %d", id, resp.StatusCode)
+				}
+			}(id)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := s.Computes(); got != uint64(len(ids)) {
+		t.Errorf("computes = %d, want %d (one per artifact)", got, len(ids))
+	}
+}

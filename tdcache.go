@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"io"
 
+	"tdcache/internal/artifact"
 	"tdcache/internal/circuit"
 	"tdcache/internal/core"
 	"tdcache/internal/cpu"
@@ -70,6 +71,25 @@ type (
 	Metrics = cpu.Metrics
 	// ExperimentParams scales the paper-reproduction experiments.
 	ExperimentParams = experiments.Params
+	// Artifact is one reproduced paper artifact (typed result data).
+	Artifact = artifact.Artifact
+	// ArtifactTable is the structured artifact payload.
+	ArtifactTable = artifact.Table
+	// ArtifactMeta is a result-store entry manifest.
+	ArtifactMeta = artifact.Meta
+	// ArtifactStore is the content-addressed on-disk result cache.
+	ArtifactStore = artifact.Store
+	// ArtifactFormat selects an artifact encoding (text, json, csv).
+	ArtifactFormat = artifact.Format
+	// ExperimentSpec describes one registered experiment.
+	ExperimentSpec = experiments.Spec
+)
+
+// Artifact output formats.
+const (
+	FormatText = artifact.FormatText
+	FormatJSON = artifact.FormatJSON
+	FormatCSV  = artifact.FormatCSV
 )
 
 // Refresh policies.
@@ -227,11 +247,40 @@ func DefaultExperimentParams() *ExperimentParams { return experiments.DefaultPar
 func QuickExperimentParams() *ExperimentParams { return experiments.QuickParams() }
 
 // Experiments lists the registered experiment IDs (fig1..fig12, tab1..3,
-// sec4.1).
+// sec4.1) in presentation order.
 func Experiments() []string { return experiments.Names() }
+
+// ExperimentSpecs returns the declarative experiment registry in
+// presentation order (a copy; the registry itself is immutable).
+func ExperimentSpecs() []ExperimentSpec {
+	return append([]ExperimentSpec(nil), experiments.Specs...)
+}
 
 // RunExperiment regenerates one paper artifact (or all of them for
 // "all"), printing the paper-shaped output to w.
 func RunExperiment(id string, p *ExperimentParams, w io.Writer) error {
 	return experiments.Run(id, p, w)
 }
+
+// BuildExperiment runs one experiment and returns its typed artifact.
+func BuildExperiment(id string, p *ExperimentParams) (Artifact, error) {
+	return experiments.Build(id, p)
+}
+
+// ExperimentDigest returns the content hash of the experiment
+// parameters — the store key half that identifies a configuration.
+func ExperimentDigest(p *ExperimentParams) string { return experiments.Digest(p) }
+
+// ParseArtifactFormat validates a format name (text, json, csv).
+func ParseArtifactFormat(s string) (ArtifactFormat, error) { return artifact.ParseFormat(s) }
+
+// EncodeArtifact writes a in the given format.
+func EncodeArtifact(w io.Writer, f ArtifactFormat, a Artifact) error {
+	return artifact.Encode(w, f, a)
+}
+
+// NewArtifactStore opens (creating if needed) a result store at dir.
+func NewArtifactStore(dir string) (*ArtifactStore, error) { return artifact.NewStore(dir) }
+
+// ErrStoreMiss reports an artifact-store lookup miss (use errors.Is).
+var ErrStoreMiss = artifact.ErrMiss
