@@ -141,10 +141,13 @@ func (s *Store) ReadFormat(id, paramsDigest string, f Format) ([]byte, *Meta, er
 	if err != nil {
 		return nil, nil, err
 	}
-	b, err := os.ReadFile(filepath.Join(dir, "artifact."+f.Ext()))
+	// JSON is the canonical structured form, stored as table.json; the
+	// other encodings live beside it as artifact.<ext>.
+	name := "artifact." + f.Ext()
 	if f == FormatJSON {
-		b, err = os.ReadFile(filepath.Join(dir, "table.json"))
+		name = "table.json"
 	}
+	b, err := os.ReadFile(filepath.Join(dir, name))
 	if err != nil {
 		return nil, nil, errorf("store: %v", err)
 	}

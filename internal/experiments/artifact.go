@@ -1,12 +1,13 @@
 package experiments
 
 import (
-	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 
 	"tdcache/internal/artifact"
+	"tdcache/internal/circuit"
 	"tdcache/internal/core"
 )
 
@@ -19,15 +20,47 @@ import (
 func Digest(p *Params) string {
 	h := artifact.NewHasher()
 	h.Int("schema", artifact.SchemaVersion)
-	// Tech is a value struct of scalars; %+v renders every field with
-	// its name, deterministically.
-	h.String("tech", fmt.Sprintf("%+v", p.Tech))
+	hashTech(h, &p.Tech)
 	h.Uint("seed", p.Seed)
 	h.Int("chips", int64(p.Chips))
 	h.Int("dist_chips", int64(p.DistChips))
 	h.Uint("instructions", p.Instructions)
 	h.Strings("benchmarks", p.Benchmarks)
 	return h.Sum()
+}
+
+// hashTech mixes every circuit.Tech field through the hasher under a
+// stable label, so the digest recipe is explicit rather than tied to
+// Go's struct-printing format. Floats are mixed by IEEE-754 bit pattern
+// (exact, and unit-agnostic: a digest has no physical dimension).
+// TestParamsDigest walks Tech with reflection, so a field added to Tech
+// but not listed here fails the build's tests instead of silently
+// dropping out of the cache key.
+func hashTech(h *artifact.Hasher, t *circuit.Tech) {
+	bits := func(label string, v uint64) { h.Uint("tech."+label, v) }
+	h.String("tech.name", t.Name)
+	h.Int("tech.node_nm", int64(t.NodeNM))
+	bits("vdd", math.Float64bits(t.Vdd))
+	bits("vth0", math.Float64bits(t.Vth0))
+	bits("freq_ghz", math.Float64bits(t.FreqGHz))
+	bits("cell_area_um2", math.Float64bits(t.CellAreaUM2))
+	bits("wire_width_um", math.Float64bits(t.WireWidthUM))
+	bits("wire_thick_um", math.Float64bits(t.WireThickUM))
+	bits("oxide_nm", math.Float64bits(t.OxideNM))
+	bits("access_time_6t", math.Float64bits(t.AccessTime6T))
+	bits("retention_3t1d", math.Float64bits(t.Retention3T1D))
+	bits("leakage_power_6t", math.Float64bits(t.LeakagePower6T))
+	bits("energy_per_access", math.Float64bits(t.EnergyPerAccess))
+	bits("alpha", math.Float64bits(t.Alpha))
+	bits("sub_vt_slope", math.Float64bits(t.SubVTSlope))
+	bits("sce", math.Float64bits(t.SCE))
+	bits("leak_sce", math.Float64bits(t.LeakSCE))
+	bits("bitline_frac", math.Float64bits(t.BitlineFrac))
+	bits("diode_boost", math.Float64bits(t.DiodeBoost))
+	bits("margin_frac", math.Float64bits(t.MarginFrac))
+	bits("t3_weight", math.Float64bits(t.T3Weight))
+	bits("ret_leak_sens", math.Float64bits(t.RetLeakSens))
+	bits("flip_threshold", math.Float64bits(t.FlipThreshold))
 }
 
 // provenance stamps the run configuration into a result. Experiments

@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"tdcache/internal/artifact"
+	"tdcache/internal/circuit"
 )
 
 // TestGoldenTextOutput asserts that the text encoding of every
@@ -130,5 +132,27 @@ func TestParamsDigest(t *testing.T) {
 	p.Parallel = 7
 	if Digest(p) != Digest(base) {
 		t.Error("digest must ignore Parallel: output is byte-identical across worker counts")
+	}
+
+	// hashTech lists Tech's fields explicitly; walk the struct with
+	// reflection and perturb each field so a field added to circuit.Tech
+	// but missing from hashTech cannot silently drop out of the key.
+	tt := reflect.TypeOf(circuit.Tech{})
+	for i := 0; i < tt.NumField(); i++ {
+		p := QuickParams()
+		f := reflect.ValueOf(&p.Tech).Elem().Field(i)
+		switch f.Kind() {
+		case reflect.String:
+			f.SetString(f.String() + "?")
+		case reflect.Int:
+			f.SetInt(f.Int() + 1)
+		case reflect.Float64:
+			f.SetFloat(f.Float() + 0.5)
+		default:
+			t.Fatalf("Tech.%s has kind %s — extend hashTech and this test", tt.Field(i).Name, f.Kind())
+		}
+		if Digest(p) == Digest(base) {
+			t.Errorf("digest insensitive to Tech.%s — add it to hashTech", tt.Field(i).Name)
+		}
 	}
 }

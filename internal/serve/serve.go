@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -45,9 +46,10 @@ type computeKey struct {
 }
 
 // computeResult is the memoized outcome: the store manifest of the
-// computed (or found) artifact. Compute errors are cached too — the
-// computation is a pure function of the key, so an error is as
-// deterministic as a result.
+// computed (or found) artifact. Successful results are pure functions
+// of the key and stay memoized forever; error outcomes are evicted by
+// the handler, because the store I/O behind them can fail transiently
+// (ENOSPC, permissions) and must be retried by the next request.
 type computeResult struct {
 	meta *artifact.Meta
 	err  error
@@ -65,7 +67,10 @@ type Server struct {
 	memo sweep.Memo[computeKey, computeResult]
 	// computeMu serializes the simulation itself: both parameter sets
 	// own a single sweep.Pool each, and Pool.Run is a single-coordinator
-	// API — concurrent experiment builds must not share a pool.
+	// API — concurrent experiment builds must not share a pool. It also
+	// guards every read of the shared Params fields (experiments.Digest)
+	// against the tab3/fig12pts builds, which sweep p.Tech in place
+	// (restoring it on return) while they run.
 	computeMu sync.Mutex
 	// computes counts actual simulations (store misses); tests assert
 	// repeated and restarted servers serve from the store instead.
@@ -148,17 +153,22 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	res := s.memo.Do(computeKey{id: id, quick: quick}, func() computeResult {
+	key := computeKey{id: id, quick: quick}
+	res := s.memo.Do(key, func() computeResult {
 		return s.compute(id, quick)
 	})
 	if res.err != nil {
+		// Store I/O is not a pure function of the key: evict the errored
+		// entry so the next request retries instead of serving one
+		// transient failure forever.
+		s.memo.Forget(key)
 		writeErr(w, http.StatusInternalServerError, res.err.Error())
 		return
 	}
 
 	etag := `"` + res.meta.ArtifactDigest + `"`
 	w.Header().Set("ETag", etag)
-	if match := r.Header.Get("If-None-Match"); match == etag || match == "*" {
+	if etagMatch(r.Header.Get("If-None-Match"), etag) {
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
@@ -175,7 +185,13 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 // request) already produced it, otherwise simulate once and persist.
 func (s *Server) compute(id string, quick bool) computeResult {
 	p := s.params(quick)
+	// Digest reads p.Tech, which an in-flight tab3/fig12pts build on the
+	// other memo keys mutates in place; computeMu serializes the read
+	// with every build, and builds restore p.Tech on return, so the
+	// digest always reflects the configured node.
+	s.computeMu.Lock()
 	digest := experiments.Digest(p)
+	s.computeMu.Unlock()
 	_, meta, err := s.store.Get(id, digest)
 	if err == nil {
 		return computeResult{meta: meta}
@@ -195,6 +211,23 @@ func (s *Server) compute(id string, quick bool) computeResult {
 		return computeResult{err: err}
 	}
 	return computeResult{meta: meta}
+}
+
+// etagMatch reports whether an If-None-Match header value names etag.
+// Per RFC 9110 §8.8.3 the header is a comma-separated list of entity
+// tags (or "*"), and If-None-Match uses weak comparison, so a W/ prefix
+// on a list entry is ignored.
+func etagMatch(header, etag string) bool {
+	for _, tok := range strings.Split(header, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "*" {
+			return true
+		}
+		if strings.TrimPrefix(tok, "W/") == etag {
+			return true
+		}
+	}
+	return false
 }
 
 // writeErr emits a JSON error body.

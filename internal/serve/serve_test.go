@@ -6,6 +6,8 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -137,6 +139,25 @@ func TestETagRevalidation(t *testing.T) {
 	if stale.Code != http.StatusOK {
 		t.Errorf("stale ETag status = %d, want 200", stale.Code)
 	}
+
+	// RFC 9110 §8.8.3: the header may list several entity tags, each
+	// possibly weak; If-None-Match uses weak comparison, so the current
+	// tag appearing anywhere in the list (with or without W/) is a 304.
+	for _, hdr := range []string{
+		`"0000", ` + etag,
+		`"0000" , W/` + etag + `, "1111"`,
+		"W/" + etag,
+		"*",
+	} {
+		rec := get(s, "/v1/experiments/tab2", map[string]string{"If-None-Match": hdr})
+		if rec.Code != http.StatusNotModified {
+			t.Errorf("If-None-Match %q status = %d, want 304", hdr, rec.Code)
+		}
+	}
+	miss := get(s, "/v1/experiments/tab2", map[string]string{"If-None-Match": `"0000", W/"1111"`})
+	if miss.Code != http.StatusOK {
+		t.Errorf("no-match list status = %d, want 200", miss.Code)
+	}
 }
 
 func TestFormatsAndContentTypes(t *testing.T) {
@@ -200,15 +221,50 @@ func TestErrorPaths(t *testing.T) {
 	}
 }
 
+// TestStoreErrorNotMemoized asserts that a transient store I/O failure
+// is not served forever: once the store recovers, the next request for
+// the same key recomputes instead of replaying the memoized error.
+func TestStoreErrorNotMemoized(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestServer(t, dir)
+
+	// Squat the experiment's store path with a regular file: every read
+	// and write under dir/tab1/... now fails with ENOTDIR, which is a
+	// store I/O error, not a miss.
+	block := filepath.Join(dir, "tab1")
+	if err := os.WriteFile(block, []byte("squatter"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec := get(s, "/v1/experiments/tab1", nil)
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status with broken store = %d, want 500", rec.Code)
+	}
+
+	// Store recovers; the error must not have been memoized.
+	if err := os.Remove(block); err != nil {
+		t.Fatal(err)
+	}
+	rec2 := get(s, "/v1/experiments/tab1", nil)
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("status after store recovered = %d, want 200 (error was memoized?)", rec2.Code)
+	}
+	if rec2.Body.Len() == 0 {
+		t.Error("recovered response has empty body")
+	}
+}
+
 // TestConcurrentRequests exercises the singleflight and the compute
 // mutex under the race detector: many clients, same and different IDs,
-// one simulation per artifact.
+// one simulation per artifact. The ID set deliberately includes tab3
+// and fig12pts, whose builds sweep the shared Params' Tech field in
+// place — concurrent digests of the same Params must serialize with
+// those builds (the computeMu contract), and only -race proves it.
 func TestConcurrentRequests(t *testing.T) {
 	s := newTestServer(t, t.TempDir())
 	ts := httptest.NewServer(s)
 	defer ts.Close()
 
-	ids := []string{"tab1", "tab2", "fig4"}
+	ids := []string{"tab1", "tab2", "fig4", "tab3", "fig12pts"}
 	var wg sync.WaitGroup
 	errs := make(chan error, len(ids)*8)
 	for i := 0; i < 8; i++ {

@@ -62,6 +62,17 @@ func (m *Memo[K, V]) Lookup(key K) (val V, ok bool) {
 	return e.val, true
 }
 
+// Forget drops the memoized entry for key, so the next Do recomputes
+// it. Callers already waiting on an in-flight computation of the key
+// still receive that computation's value. It exists for values that
+// turn out not to be pure functions of the key — for example a result
+// poisoned by a transient I/O error — which must not be served forever.
+func (m *Memo[K, V]) Forget(key K) {
+	m.mu.Lock()
+	delete(m.m, key)
+	m.mu.Unlock()
+}
+
 // Computes reports how many times Do invoked a compute function — with
 // correct deduplication, exactly the number of distinct keys requested.
 func (m *Memo[K, V]) Computes() uint64 {

@@ -135,6 +135,28 @@ func TestMemoDistinctKeys(t *testing.T) {
 	}
 }
 
+// TestMemoForget pins the eviction contract: a forgotten key is
+// recomputed by the next Do, while untouched keys keep their values.
+func TestMemoForget(t *testing.T) {
+	var m Memo[int, int]
+	if got := m.Do(1, func() int { return 10 }); got != 10 {
+		t.Fatalf("first Do = %d, want 10", got)
+	}
+	m.Do(2, func() int { return 20 })
+	m.Forget(1)
+	if got := m.Do(1, func() int { return 11 }); got != 11 {
+		t.Fatalf("Do after Forget = %d, want recomputed 11", got)
+	}
+	if got := m.Do(2, func() int { return -1 }); got != 20 {
+		t.Fatalf("untouched key = %d, want memoized 20", got)
+	}
+	if c := m.Computes(); c != 3 {
+		t.Fatalf("computes = %d, want 3 (two for key 1, one for key 2)", c)
+	}
+	// Forgetting an absent key is a no-op.
+	m.Forget(99)
+}
+
 // TestMemoConcurrentSameKeySharesPointer pins down the sharing
 // semantics the experiment harness relies on: when many workers miss
 // the same key at once, every caller must receive the one pointer the
