@@ -1,11 +1,13 @@
 // Command tdcache-serve exposes the paper's experiment artifacts over
 // HTTP, backed by a content-addressed result store: each artifact is
 // simulated at most once per parameter configuration and then served
-// from disk, with ETag revalidation.
+// from disk (or the in-memory hot tier), with ETag revalidation.
+// Distinct artifacts compute concurrently on a fixed worker shard;
+// requests beyond the admission bound are shed with 503 + Retry-After.
 //
 // Usage:
 //
-//	tdcache-serve -addr :8344 -store ./results
+//	tdcache-serve -addr :8344 -store ./results -workers 4
 //
 //	curl localhost:8344/v1/experiments
 //	curl 'localhost:8344/v1/experiments/tab3?format=json&quick=true'
@@ -17,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -29,18 +32,27 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "localhost:8344", "listen address")
-		storeDir = flag.String("store", "tdcache-store", "artifact store directory")
-		parallel = flag.Int("parallel", 0, "sweep worker-pool width (0 = GOMAXPROCS; output is identical)")
+		addr        = flag.String("addr", "localhost:8344", "listen address")
+		storeDir    = flag.String("store", "tdcache-store", "artifact store directory")
+		parallel    = flag.Int("parallel", 0, "sweep worker-pool width per compute worker (0 = GOMAXPROCS; output is identical)")
+		workers     = flag.Int("workers", 0, "concurrent compute workers (0 = min(GOMAXPROCS, 4))")
+		maxInflight = flag.Int("max-inflight", 0, "admitted computes before shedding 503 (0 = 4x workers)")
+		cacheBytes  = flag.Int64("cache-bytes", 0, "in-memory hot-tier budget (0 = 64 MiB default, negative = disabled)")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 	)
 	flag.Parse()
-	if err := run(*addr, *storeDir, *parallel); err != nil {
+	opts := serve.Options{
+		Workers:     *workers,
+		MaxInflight: *maxInflight,
+		CacheBytes:  *cacheBytes,
+	}
+	if err := run(*addr, *storeDir, *pprofAddr, *parallel, opts); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, storeDir string, parallel int) error {
+func run(addr, storeDir, pprofAddr string, parallel int, opts serve.Options) error {
 	st, err := artifact.NewStore(storeDir)
 	if err != nil {
 		return err
@@ -49,9 +61,36 @@ func run(addr, storeDir string, parallel int) error {
 	quick := experiments.QuickParams()
 	full.Parallel = parallel
 	quick.Parallel = parallel
-	s, err := serve.New(serve.Options{Store: st, Full: full, Quick: quick})
+	opts.Store = st
+	opts.Full = full
+	opts.Quick = quick
+	s, err := serve.New(opts)
 	if err != nil {
 		return err
+	}
+	defer s.Close()
+
+	if pprofAddr != "" {
+		// Profiling stays off the artifact listener so it is never
+		// exposed by default; the mux carries only the pprof handlers.
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		psrv := &http.Server{
+			Addr:              pprofAddr,
+			Handler:           pmux,
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			fmt.Fprintf(os.Stderr, "tdcache-serve: pprof on %s\n", pprofAddr)
+			if err := psrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "tdcache-serve: pprof: %v\n", err)
+			}
+		}()
+		defer psrv.Close()
 	}
 
 	srv := &http.Server{
@@ -64,7 +103,8 @@ func run(addr, storeDir string, parallel int) error {
 
 	done := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "tdcache-serve: listening on %s, store %s\n", addr, st.Dir())
+		fmt.Fprintf(os.Stderr, "tdcache-serve: listening on %s, store %s, %d workers\n",
+			addr, st.Dir(), s.Workers())
 		done <- srv.ListenAndServe()
 	}()
 

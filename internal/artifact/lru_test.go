@@ -1,0 +1,133 @@
+package artifact
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func lruKey(i int) CacheKey {
+	return CacheKey{ID: fmt.Sprintf("exp%d", i), ParamsDigest: "d", Format: FormatJSON}
+}
+
+func TestLRUHitMissAndRecency(t *testing.T) {
+	c := NewLRU(100)
+	if _, _, ok := c.Get(lruKey(1)); ok {
+		t.Fatal("hit on empty cache")
+	}
+	m := &Meta{ID: "exp1"}
+	c.Put(lruKey(1), []byte("0123456789"), m)
+	data, meta, ok := c.Get(lruKey(1))
+	if !ok || string(data) != "0123456789" || meta != m {
+		t.Fatalf("Get = %q, %v, %v", data, meta, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Bytes != 10 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLRUEvictsLeastRecentlyUsed(t *testing.T) {
+	c := NewLRU(30) // room for three 10-byte entries
+	for i := 1; i <= 3; i++ {
+		c.Put(lruKey(i), []byte("0123456789"), nil)
+	}
+	// Touch 1 so 2 becomes the eviction victim.
+	if _, _, ok := c.Get(lruKey(1)); !ok {
+		t.Fatal("entry 1 missing before eviction")
+	}
+	c.Put(lruKey(4), []byte("0123456789"), nil)
+	if _, _, ok := c.Get(lruKey(2)); ok {
+		t.Error("entry 2 survived — eviction order is not LRU")
+	}
+	for _, i := range []int{1, 3, 4} {
+		if _, _, ok := c.Get(lruKey(i)); !ok {
+			t.Errorf("entry %d evicted, want resident", i)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Bytes != 30 {
+		t.Errorf("stats = %+v, want 1 eviction at 30 bytes", st)
+	}
+}
+
+func TestLRUEvictsMultipleForLargeEntry(t *testing.T) {
+	c := NewLRU(30)
+	for i := 1; i <= 3; i++ {
+		c.Put(lruKey(i), []byte("0123456789"), nil)
+	}
+	c.Put(lruKey(4), []byte("0123456789012345"), nil) // 16 bytes: evicts 1 and 2
+	if got := c.Len(); got != 2 {
+		t.Errorf("entries = %d, want 2 (two evicted for one large put)", got)
+	}
+	if _, _, ok := c.Get(lruKey(4)); !ok {
+		t.Error("large entry not resident")
+	}
+	if _, _, ok := c.Get(lruKey(3)); !ok {
+		t.Error("most-recent small entry evicted")
+	}
+}
+
+func TestLRUOversizedEntrySkipped(t *testing.T) {
+	c := NewLRU(5)
+	c.Put(lruKey(1), []byte("too big for budget"), nil)
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Errorf("oversized entry admitted: %d entries, %d bytes", c.Len(), c.Bytes())
+	}
+}
+
+func TestLRUZeroBudgetCachesNothing(t *testing.T) {
+	c := NewLRU(0)
+	c.Put(lruKey(1), []byte("x"), nil)
+	if _, _, ok := c.Get(lruKey(1)); ok {
+		t.Error("zero-budget cache returned a hit")
+	}
+	if st := c.Stats(); st.Misses != 1 || st.Entries != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLRURePutRefreshesRecency(t *testing.T) {
+	c := NewLRU(20)
+	c.Put(lruKey(1), []byte("0123456789"), nil)
+	c.Put(lruKey(2), []byte("0123456789"), nil)
+	// Re-put 1: must refresh recency, not double-count bytes.
+	c.Put(lruKey(1), []byte("0123456789"), nil)
+	if got := c.Bytes(); got != 20 {
+		t.Fatalf("bytes = %d after re-put, want 20", got)
+	}
+	c.Put(lruKey(3), []byte("0123456789"), nil)
+	if _, _, ok := c.Get(lruKey(2)); ok {
+		t.Error("entry 2 survived — re-put did not refresh entry 1")
+	}
+	if _, _, ok := c.Get(lruKey(1)); !ok {
+		t.Error("refreshed entry 1 evicted")
+	}
+}
+
+// TestLRUConcurrent drives mixed Get/Put from many goroutines; the race
+// detector proves the locking, and the byte budget must hold after.
+func TestLRUConcurrent(t *testing.T) {
+	c := NewLRU(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := lruKey((g + i) % 16)
+				if data, _, ok := c.Get(k); ok {
+					if len(data) != 8 {
+						t.Errorf("corrupt entry: %d bytes", len(data))
+						return
+					}
+				} else {
+					c.Put(k, []byte("01234567"), nil)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := c.Bytes(); got > 64 {
+		t.Errorf("budget exceeded: %d bytes resident", got)
+	}
+}

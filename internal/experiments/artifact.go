@@ -63,9 +63,10 @@ func hashTech(h *artifact.Hasher, t *circuit.Tech) {
 	bits("flip_threshold", math.Float64bits(t.FlipThreshold))
 }
 
-// provenance stamps the run configuration into a result. Experiments
-// that mutate p.Tech mid-run (Table 3, the Fig. 12 design points) call
-// it before the first mutation.
+// provenance stamps the run configuration into a result. Params is
+// immutable during builds — multi-node sweeps (Table 3, the Fig. 12
+// design points) derive per-node copies with WithTech — so provenance
+// can be read at any time, concurrently with any build.
 func (p *Params) provenance() artifact.Provenance {
 	return artifact.Provenance{
 		SchemaVersion: artifact.SchemaVersion,

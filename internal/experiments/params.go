@@ -34,6 +34,17 @@ import (
 // Params scales every experiment. DefaultParams gives the full-size
 // configuration used by cmd/tdcache-experiments; the benchmark harness
 // shrinks Chips and Instructions to keep `go test -bench` tractable.
+//
+// The scaling fields are a plain value: experiments never mutate the
+// Params they are handed, and multi-node sweeps (Table 3, the Fig. 12
+// design points) derive a per-node copy with WithTech instead of
+// rewriting Tech in place. That makes a *Params safe to read — Digest,
+// provenance — concurrently with any build. The compute rig behind it
+// (worker pool, memo caches) is shared by every WithTech derivation;
+// Clone makes an independent pool for a coordinator that must run
+// concurrently with the original (e.g. one per serve-layer worker,
+// since Pool.Run is a single-coordinator API) while the memo caches
+// stay shared, so sub-computations dedup across the whole family.
 type Params struct {
 	// Tech is the primary technology node (Table 3 sweeps all three).
 	Tech circuit.Tech
@@ -54,12 +65,39 @@ type Params struct {
 	// way; Parallel only changes wall-clock time.
 	Parallel int
 
+	// rig holds the shared mutable compute machinery. It is a pointer so
+	// WithTech can copy the Params value while every derivation keeps
+	// feeding the same pool and memo caches.
+	rig *rig
+}
+
+// rig is the compute machinery behind a Params family: one worker pool
+// (single-coordinator) plus the singleflight memo caches for baselines
+// and Monte-Carlo studies. Memo keys embed the tech name and Vdd, so
+// WithTech derivations share a rig safely. The memo set is a separate
+// pointer so Clone can hand out an independent pool (its own
+// coordinator) while still deduplicating sub-computations with its
+// origin — the memos are singleflight-safe across goroutines and their
+// values (runResult, *montecarlo.Study) are immutable once built.
+type rig struct {
 	poolOnce sync.Once
 	pool     *sweep.Pool
 
-	baseMemo  sweep.Memo[baselineKey, runResult]
-	studyMemo sweep.Memo[studyKey, *montecarlo.Study]
+	memos *memoSet
 }
+
+// memoSet holds the memo caches shared across a Params family and all
+// its Clones. The keys cover tech name, Vdd, and the per-experiment
+// shape knobs, but NOT Seed/Chips/Instructions/Benchmarks — those are
+// constant within a family, which is why a memo set must never be
+// shared between differently-scaled Params (Clone preserves every value
+// field, so clones always qualify).
+type memoSet struct {
+	base  sweep.Memo[baselineKey, runResult]
+	study sweep.Memo[studyKey, *montecarlo.Study]
+}
+
+func newRig() *rig { return &rig{memos: &memoSet{}} }
 
 type baselineKey struct {
 	tech  string
@@ -85,6 +123,7 @@ func DefaultParams() *Params {
 		DistChips:    300,
 		Instructions: 200_000,
 		Benchmarks:   workload.Names(),
+		rig:          newRig(),
 	}
 }
 
@@ -99,13 +138,59 @@ func QuickParams() *Params {
 	return p
 }
 
+// WithTech derives a Params for another operating point: a value copy
+// with Tech replaced, sharing the receiver's compute rig. The receiver
+// is never touched, so Digest and provenance reads stay race-free while
+// a derived build runs. Because the rig is shared, a derivation must
+// only drive the pool from the same coordinator as its parent (the
+// multi-node sweeps run their nodes sequentially); use Clone for a
+// coordinator that runs concurrently with the original.
+func (p *Params) WithTech(t circuit.Tech) *Params {
+	q := *p
+	q.Tech = t
+	return &q
+}
+
+// Clone returns a copy of p that may coordinate builds concurrently
+// with the original: it gets its own worker pool (Pool.Run is a
+// single-coordinator API) but shares the origin's memo caches, so
+// baselines and Monte-Carlo studies common to several experiments are
+// still simulated exactly once across all clones — the serve layer
+// gives each compute worker one clone and the singleflight memos
+// deduplicate across the shard. Because the memo keys assume the
+// family's scale fields are fixed, a clone's Seed, Chips, DistChips,
+// Instructions, or Benchmarks must not be changed afterwards; derive a
+// fresh DefaultParams/QuickParams for a differently-scaled run.
+func (p *Params) Clone() *Params {
+	q := *p
+	q.Benchmarks = append([]string(nil), p.Benchmarks...)
+	q.rig = &rig{memos: p.ensureRig().memos}
+	return &q
+}
+
+// ensureRig lazily builds the compute rig for zero-value Params. Only
+// the single coordinating goroutine allocates it (every concurrent
+// reader — a sweep job calling baseline — starts after the
+// coordinator's first Pool or memo use, which publishes the rig via the
+// pool's goroutine start).
+func (p *Params) ensureRig() *rig {
+	if p.rig == nil {
+		p.rig = newRig()
+	}
+	if p.rig.memos == nil {
+		p.rig.memos = &memoSet{}
+	}
+	return p.rig
+}
+
 // Pool returns the shared worker pool, creating it on first use with
 // Parallel workers. Experiments submit whole fan-outs to it from the
 // top level; jobs themselves must not call Pool().Run again (they run
 // nested sweeps inline through the worker handed to them).
 func (p *Params) Pool() *sweep.Pool {
-	p.poolOnce.Do(func() { p.pool = sweep.New(p.Parallel) })
-	return p.pool
+	r := p.ensureRig()
+	r.poolOnce.Do(func() { r.pool = sweep.New(p.Parallel) })
+	return r.pool
 }
 
 // runResult is one (cache scheme, benchmark) simulation outcome.
@@ -217,12 +302,13 @@ func reshapeRetention(src core.RetentionMap, lines int) core.RetentionMap {
 // locking, so a baseline is simulated exactly once per key.
 func (p *Params) baseline(w *sweep.Worker, bench string, sets, ways int) runResult {
 	key := baselineKey{p.Tech.Name, p.Tech.Vdd, bench, sets, ways}
+	memo := &p.ensureRig().memos.base
 	// Replay fast path: after the first computation every caller takes
 	// this branch, skipping the compute-closure Do would allocate.
-	if v, ok := p.baseMemo.Lookup(key); ok {
+	if v, ok := memo.Lookup(key); ok {
 		return v
 	}
-	return p.baseMemo.Do(key, func() runResult {
+	return memo.Do(key, func() runResult {
 		lines := 1024
 		if sets != 0 && ways != 0 {
 			lines = sets * ways
@@ -241,13 +327,18 @@ func (p *Params) baseline(w *sweep.Worker, bench string, sets, ways int) runResu
 // level of an experiment, never from inside a sweep job.
 func (p *Params) study(sc variation.Scenario, chips int) *montecarlo.Study {
 	key := studyKey{p.Tech.Name, p.Tech.Vdd, sc.Name, chips}
-	if st, ok := p.studyMemo.Lookup(key); ok {
+	memo := &p.ensureRig().memos.study
+	if st, ok := memo.Lookup(key); ok {
 		return st
 	}
-	return p.studyMemo.Do(key, func() *montecarlo.Study {
+	// The pool is resolved before the kernel so the memoized closure
+	// captures only immutable state (Pool() lazily builds the rig's pool,
+	// which would otherwise be a captured-receiver mutation).
+	pool := p.Pool()
+	return memo.Do(key, func() *montecarlo.Study {
 		return montecarlo.New(montecarlo.Options{
 			Tech: p.Tech, Scenario: sc, Seed: p.Seed ^ 0xc41b, Chips: chips,
-			Pool: p.Pool(),
+			Pool: pool,
 		})
 	})
 }

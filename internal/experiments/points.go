@@ -58,20 +58,18 @@ type Fig12PointsResult struct {
 // point's Vdd, sample a small chip population under its scenario, take
 // the median chip, and run the three schemes.
 func Fig12PointsRun(p *Params) *Fig12PointsResult {
-	// Provenance is stamped before the per-point Tech mutations below so
-	// it reflects the caller's configuration.
+	// Each point gets a WithTech derivation at its derated operating
+	// point; the caller's Params is never mutated, so concurrent Digest
+	// or provenance reads stay race-free.
 	res := &Fig12PointsResult{Prov: p.provenance()}
-	savedTech := p.Tech
-	defer func() { p.Tech = savedTech }()
 
 	chips := p.Chips / 4
 	if chips < 6 {
 		chips = 6
 	}
 	for _, pt := range Fig12Points() {
-		tech := pt.Tech.AtVdd(pt.Vdd)
-		p.Tech = tech
-		study := p.study(pt.Scenario, chips)
+		pp := p.WithTech(pt.Tech.AtVdd(pt.Vdd))
+		study := pp.study(pt.Scenario, chips)
 		_, medianIdx, _ := study.GoodMedianBad()
 		chip := &study.Chips[medianIdx]
 
@@ -92,7 +90,7 @@ func Fig12PointsRun(p *Params) *Fig12PointsResult {
 			pr.SigmaMu = sum.Std / sum.Mean
 		}
 		for si, scheme := range Fig10Schemes {
-			_, norm := p.suite(nil, cacheSpec{
+			_, norm := pp.suite(nil, cacheSpec{
 				Scheme:    scheme,
 				Retention: chip.Retention,
 				Step:      chip.CounterStep,

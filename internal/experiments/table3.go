@@ -51,30 +51,29 @@ type Table3Result struct {
 // frequency, leakage, and retention), and a global-refresh suite at the
 // median retention.
 func Table3(p *Params) *Table3Result {
-	// Provenance is stamped before the per-node Tech mutations below so
-	// it reflects the caller's configuration.
+	// The caller's Params stays untouched: each node gets a WithTech
+	// derivation (same rig, new Tech value), so concurrent Digest or
+	// provenance reads of p never observe a mid-sweep node.
 	res := &Table3Result{Prov: p.provenance()}
-	savedTech := p.Tech
-	defer func() { p.Tech = savedTech }()
 
 	for _, tech := range circuit.Nodes {
-		p.Tech = tech
+		pn := p.WithTech(tech)
 		row := Table3Row{Node: tech.Name}
 
 		// Ideal 6T: warm the baseline memo for this node in parallel,
 		// then aggregate sequentially in benchmark order so the
 		// floating-point sums are reproducible.
-		p.Pool().Run(len(p.Benchmarks), func(job int, w *sweep.Worker) {
-			p.baseline(w, p.Benchmarks[job], 0, 0)
+		pn.Pool().Run(len(pn.Benchmarks), func(job int, w *sweep.Worker) {
+			pn.baseline(w, pn.Benchmarks[job], 0, 0)
 		})
-		idealIPC := make([]float64, 0, len(p.Benchmarks))
+		idealIPC := make([]float64, 0, len(pn.Benchmarks))
 		var meanDyn float64
-		for _, b := range p.Benchmarks {
-			r := p.baseline(nil, b, 0, 0)
+		for _, b := range pn.Benchmarks {
+			r := pn.baseline(nil, b, 0, 0)
 			idealIPC = append(idealIPC, r.IPC)
 			meanDyn += r.Dyn.TotalW()
 		}
-		meanDyn /= float64(len(p.Benchmarks))
+		meanDyn /= float64(len(pn.Benchmarks))
 		hm := stats.HarmonicMean(idealIPC)
 		row.IdealAccessPS = tech.AccessTime6T * circuit.SecondsToPico
 		row.IdealBIPS = hm * tech.FreqGHz
@@ -83,7 +82,7 @@ func Table3(p *Params) *Table3Result {
 		row.IdealLeakMW = tech.LeakagePower6T * circuit.WattsToMilli
 
 		// Median typical-variation chip.
-		study := p.study(variation.Typical, p.DistChips)
+		study := pn.study(variation.Typical, pn.DistChips)
 		_, median, _ := study.GoodMedianBad()
 		chip := &study.Chips[median]
 
@@ -107,10 +106,10 @@ func Table3(p *Params) *Table3Result {
 			Scheme:    core.Scheme{Refresh: core.RefreshGlobal, Placement: core.PlaceLRU},
 			Retention: core.UniformRetention(1024, retCycles),
 		}
-		perBench, norm := p.suite(nil, spec)
+		perBench, norm := pn.suite(nil, spec)
 		row.TDBIPS = row.IdealBIPS * norm
 		var tdDyn float64
-		for _, b := range p.Benchmarks {
+		for _, b := range pn.Benchmarks {
 			tdDyn += perBench[b].Dyn.TotalW()
 		}
 		tdDyn /= float64(len(perBench))

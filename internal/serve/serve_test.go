@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"tdcache/internal/artifact"
 	"tdcache/internal/experiments"
@@ -35,14 +36,29 @@ func tinier() *experiments.Params {
 
 func newTestServer(t *testing.T, dir string) *Server {
 	t.Helper()
+	return newTestServerOpts(t, dir, Options{})
+}
+
+// newTestServerOpts builds a server over dir with tiny parameters,
+// honoring any worker/admission/cache overrides in o.
+func newTestServerOpts(t *testing.T, dir string, o Options) *Server {
+	t.Helper()
 	st, err := artifact.NewStore(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := New(Options{Store: st, Full: tiny(), Quick: tinier()})
+	o.Store = st
+	if o.Full == nil {
+		o.Full = tiny()
+	}
+	if o.Quick == nil {
+		o.Quick = tinier()
+	}
+	s, err := New(o)
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(s.Close)
 	return s
 }
 
@@ -253,14 +269,17 @@ func TestStoreErrorNotMemoized(t *testing.T) {
 	}
 }
 
-// TestConcurrentRequests exercises the singleflight and the compute
-// mutex under the race detector: many clients, same and different IDs,
+// TestConcurrentRequests exercises the singleflight and the worker
+// shard under the race detector: many clients, same and different IDs,
 // one simulation per artifact. The ID set deliberately includes tab3
-// and fig12pts, whose builds sweep the shared Params' Tech field in
-// place — concurrent digests of the same Params must serialize with
-// those builds (the computeMu contract), and only -race proves it.
+// and fig12pts, the multi-node sweeps that used to mutate a shared
+// Params' Tech in place — with the WithTech immutability contract they
+// build concurrently on independent workers, and only -race proves it.
 func TestConcurrentRequests(t *testing.T) {
-	s := newTestServer(t, t.TempDir())
+	// MaxInflight comfortably exceeds the distinct-key count so no
+	// request sheds regardless of the host's core count (the shed path
+	// has its own test).
+	s := newTestServerOpts(t, t.TempDir(), Options{Workers: 4, MaxInflight: 32})
 	ts := httptest.NewServer(s)
 	defer ts.Close()
 
@@ -295,5 +314,273 @@ func TestConcurrentRequests(t *testing.T) {
 	}
 	if got := s.Computes(); got != uint64(len(ids)) {
 		t.Errorf("computes = %d, want %d (one per artifact)", got, len(ids))
+	}
+}
+
+// TestListingETagRevalidation covers the precomputed registry listing:
+// a stable ETag, 304 on If-None-Match, and byte-identical bodies across
+// requests without re-encoding.
+func TestListingETagRevalidation(t *testing.T) {
+	s := newTestServer(t, t.TempDir())
+	rec := get(s, "/v1/experiments", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	etag := rec.Header().Get("ETag")
+	if len(etag) < 4 || etag[0] != '"' {
+		t.Fatalf("listing ETag = %q, want quoted digest", etag)
+	}
+	rec304 := get(s, "/v1/experiments", map[string]string{"If-None-Match": etag})
+	if rec304.Code != http.StatusNotModified {
+		t.Fatalf("revalidation status = %d, want 304", rec304.Code)
+	}
+	if rec304.Body.Len() != 0 {
+		t.Error("304 listing response has a body")
+	}
+	again := get(s, "/v1/experiments", nil)
+	if again.Body.String() != rec.Body.String() || again.Header().Get("ETag") != etag {
+		t.Error("listing not stable across requests")
+	}
+}
+
+// TestConcurrentComputeOverlap is the acceptance assertion for the
+// worker shard: two different experiment IDs requested concurrently
+// must overlap their simulations. Instrumented hooks form a barrier —
+// each compute blocks at its start until the other has also started, so
+// the test deadlocks (and times out) under any serialized design.
+func TestConcurrentComputeOverlap(t *testing.T) {
+	s := newTestServerOpts(t, t.TempDir(), Options{Workers: 2, MaxInflight: 4})
+	var started sync.WaitGroup
+	started.Add(2)
+	barrier := make(chan struct{})
+	var once sync.Once
+	s.testComputeStart = func(key computeKey, worker int) {
+		started.Done()
+		<-barrier
+	}
+	go func() {
+		started.Wait() // both simulations have started: they overlap
+		once.Do(func() { close(barrier) })
+	}()
+
+	results := make(chan int, 2)
+	for _, id := range []string{"tab1", "tab2"} {
+		go func(id string) {
+			rec := get(s, "/v1/experiments/"+id, nil)
+			results <- rec.Code
+		}(id)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case code := <-results:
+			if code != http.StatusOK {
+				t.Fatalf("status = %d", code)
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatal("computes never overlapped: barrier not released")
+		}
+	}
+	if got := s.Computes(); got != 2 {
+		t.Errorf("computes = %d, want 2", got)
+	}
+}
+
+// TestLoadShed covers the bounded-admission path: with one worker and
+// an inflight bound of 1, a second distinct compute arriving while the
+// first is pinned inside the simulator is shed with 503 + Retry-After —
+// it must not queue, deadlock, or get memoized as a permanent failure.
+func TestLoadShed(t *testing.T) {
+	s := newTestServerOpts(t, t.TempDir(), Options{Workers: 1, MaxInflight: 1})
+	release := make(chan struct{})
+	pinned := make(chan struct{}, 8)
+	s.testComputeStart = func(key computeKey, worker int) {
+		pinned <- struct{}{}
+		<-release
+	}
+
+	first := make(chan *httptest.ResponseRecorder, 1)
+	go func() { first <- get(s, "/v1/experiments/tab1", nil) }()
+	select {
+	case <-pinned: // worker is now occupied
+	case <-time.After(60 * time.Second):
+		t.Fatal("first compute never started")
+	}
+
+	shed := get(s, "/v1/experiments/tab2", nil)
+	if shed.Code != http.StatusServiceUnavailable {
+		t.Fatalf("saturated status = %d, want 503", shed.Code)
+	}
+	if ra := shed.Header().Get("Retry-After"); ra == "" {
+		t.Error("503 missing Retry-After")
+	}
+	if got := s.Sheds(); got != 1 {
+		t.Errorf("sheds = %d, want 1", got)
+	}
+
+	close(release)
+	if rec := <-first; rec.Code != http.StatusOK {
+		t.Fatalf("pinned request status = %d", rec.Code)
+	}
+	// The shed outcome must not be memoized: with capacity free again,
+	// the same key computes successfully.
+	s.testComputeStart = nil
+	retry := get(s, "/v1/experiments/tab2", nil)
+	if retry.Code != http.StatusOK {
+		t.Fatalf("retry after shed = %d, want 200", retry.Code)
+	}
+}
+
+// TestHotTierServesWithoutDisk proves the LRU tier: once a response has
+// been served, deleting the entire store entry from disk must not stop
+// identical requests from being answered — the bytes come from memory.
+func TestHotTierServesWithoutDisk(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestServer(t, dir)
+	rec := get(s, "/v1/experiments/tab1?format=json", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	// Wipe the artifact's disk entry entirely.
+	if err := os.RemoveAll(filepath.Join(dir, "tab1")); err != nil {
+		t.Fatal(err)
+	}
+	rec2 := get(s, "/v1/experiments/tab1?format=json", nil)
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("status after disk wipe = %d, want 200 (hot tier)", rec2.Code)
+	}
+	if rec2.Body.String() != rec.Body.String() {
+		t.Error("hot-tier bytes differ from disk bytes")
+	}
+	st := s.CacheStats()
+	if st.Hits == 0 {
+		t.Errorf("cache stats = %+v, want at least one hit", st)
+	}
+	// A format not yet cached must miss (and fail, since disk is gone).
+	recCSV := get(s, "/v1/experiments/tab1?format=csv", nil)
+	if recCSV.Code != http.StatusInternalServerError {
+		t.Errorf("uncached format after disk wipe = %d, want 500", recCSV.Code)
+	}
+}
+
+// TestHotTierDisabled covers CacheBytes < 0: every read goes to disk.
+func TestHotTierDisabled(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestServerOpts(t, dir, Options{CacheBytes: -1})
+	rec := get(s, "/v1/experiments/tab1?format=json", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if err := os.RemoveAll(filepath.Join(dir, "tab1")); err != nil {
+		t.Fatal(err)
+	}
+	rec2 := get(s, "/v1/experiments/tab1?format=json", nil)
+	if rec2.Code != http.StatusInternalServerError {
+		t.Errorf("status with tier disabled and disk wiped = %d, want 500", rec2.Code)
+	}
+}
+
+// TestConcurrentMatchesSerial is the byte-identity acceptance check:
+// artifacts computed through a multi-worker server are byte-identical
+// to those computed through a single-worker server over a separate
+// store.
+func TestConcurrentMatchesSerial(t *testing.T) {
+	serial := newTestServerOpts(t, t.TempDir(), Options{Workers: 1, MaxInflight: 8})
+	parallel := newTestServerOpts(t, t.TempDir(), Options{Workers: 4, MaxInflight: 16})
+
+	ids := []string{"tab1", "tab2", "fig4"}
+	type answer struct {
+		id   string
+		body string
+		etag string
+	}
+	par := make(chan answer, len(ids))
+	var wg sync.WaitGroup
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			rec := get(parallel, "/v1/experiments/"+id+"?format=json", nil)
+			par <- answer{id, rec.Body.String(), rec.Header().Get("ETag")}
+		}(id)
+	}
+	wg.Wait()
+	close(par)
+	for a := range par {
+		rec := get(serial, "/v1/experiments/"+a.id+"?format=json", nil)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: serial status = %d", a.id, rec.Code)
+		}
+		if rec.Body.String() != a.body {
+			t.Errorf("%s: concurrent bytes differ from serial", a.id)
+		}
+		if rec.Header().Get("ETag") != a.etag {
+			t.Errorf("%s: concurrent ETag differs from serial", a.id)
+		}
+	}
+}
+
+// TestEtagMatch pins the entity-tag list scanner against RFC 9110
+// §8.8.3 edge cases: opaque tags may contain commas, weak tags may be
+// surrounded by list whitespace, and malformed input must not match.
+func TestEtagMatch(t *testing.T) {
+	const etag = `"abc"`
+	cases := []struct {
+		header string
+		want   bool
+	}{
+		{"", false},
+		{"   ", false},
+		{`"abc"`, true},
+		{`W/"abc"`, true},
+		{"*", true},
+		{`"xyz", *`, true}, // * mixed into a list still matches
+		{`"xyz"`, false},
+		// Opaque tags containing commas must not be split apart: the
+		// comma inside "x,abc" is tag content, not a list separator.
+		{`"x,abc"`, false},
+		{`"x,abc", "abc"`, true},
+		{`"abc,y"`, false},
+		// W/ entries with surrounding list whitespace.
+		{`  W/"abc"  `, true},
+		{`"one" ,	W/"abc" , "two"`, true},
+		{`"one", W/"two"`, false},
+		// Malformed: unclosed quote, bare token, stray weak prefix.
+		{`"abc`, false},
+		{`abc`, false},
+		{`W/abc`, false},
+		{`W/`, false},
+		// Malformed prefix hides a later valid tag: scanning stops at
+		// the first unparseable element (conservative: no match).
+		{`abc, "abc"`, false},
+		// Control byte inside a tag is invalid.
+		{"\"a\x07bc\"", false},
+	}
+	for _, c := range cases {
+		if got := etagMatch(c.header, etag); got != c.want {
+			t.Errorf("etagMatch(%q) = %v, want %v", c.header, got, c.want)
+		}
+	}
+}
+
+// TestCloseDrainsQueuedJobs: jobs admitted before Close still complete,
+// and requests arriving after Close are refused rather than hung.
+func TestCloseDrainsQueuedJobs(t *testing.T) {
+	st, err := artifact.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Options{Store: st, Full: tiny(), Quick: tinier(), Workers: 1, MaxInflight: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := get(s, "/v1/experiments/tab1", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status before close = %d", rec.Code)
+	}
+	s.Close()
+	s.Close() // idempotent
+	rec2 := get(s, "/v1/experiments/tab2", nil)
+	if rec2.Code != http.StatusServiceUnavailable {
+		t.Errorf("status after close = %d, want 503", rec2.Code)
 	}
 }
