@@ -1,8 +1,11 @@
-// Command tdcache-lint is the determinism and physical-correctness lint
-// suite: it runs the four reproducibility analyzers (detrand, mapiter,
-// resetcheck, sweeppure), the two unit-discipline analyzers (unitflow,
-// floatcmp), and the two interprocedural call-graph analyzers (hotpath,
-// purecheck) over the repository and fails on any finding.
+// Command tdcache-lint is the determinism, physical-correctness, and
+// concurrency-safety lint suite: it runs the four reproducibility
+// analyzers (detrand, mapiter, resetcheck, sweeppure), the two
+// unit-discipline analyzers (unitflow, floatcmp), the two
+// interprocedural call-graph analyzers (hotpath, purecheck), and the
+// three concurrency analyzers (lockcheck, atomiccheck, lifecycle)
+// over the repository and fails on any finding. `tdcache-lint -list`
+// prints the roster.
 //
 // Two invocation modes:
 //
@@ -31,11 +34,14 @@ import (
 	"path/filepath"
 	"strings"
 
+	"tdcache/internal/analysis/atomiccheck"
 	"tdcache/internal/analysis/detrand"
 	"tdcache/internal/analysis/driver"
 	"tdcache/internal/analysis/floatcmp"
 	"tdcache/internal/analysis/framework"
 	"tdcache/internal/analysis/hotpath"
+	"tdcache/internal/analysis/lifecycle"
+	"tdcache/internal/analysis/lockcheck"
 	"tdcache/internal/analysis/mapiter"
 	"tdcache/internal/analysis/purecheck"
 	"tdcache/internal/analysis/resetcheck"
@@ -44,12 +50,15 @@ import (
 )
 
 // analyzers is the full suite — the four determinism rules, the two
-// physical-correctness rules, and the two call-graph rules — in
-// reporting order.
+// physical-correctness rules, the two call-graph rules, and the three
+// concurrency rules — in reporting order.
 var analyzers = []*framework.Analyzer{
+	atomiccheck.Analyzer,
 	detrand.Analyzer,
 	floatcmp.Analyzer,
 	hotpath.Analyzer,
+	lifecycle.Analyzer,
+	lockcheck.Analyzer,
 	mapiter.Analyzer,
 	purecheck.Analyzer,
 	resetcheck.Analyzer,
@@ -78,8 +87,40 @@ func main() {
 		unitcheck(args[0])
 		return
 	}
+	if len(args) == 1 && (args[0] == "-list" || args[0] == "--list") {
+		os.Stdout.WriteString(roster())
+		return
+	}
 
 	standalone(args)
+}
+
+// roster renders the analyzer list with one-line docs, one rule per
+// line, for `tdcache-lint -list`.
+func roster() string {
+	var b strings.Builder
+	width := 0
+	for _, a := range analyzers {
+		if len(a.Name) > width {
+			width = len(a.Name)
+		}
+	}
+	for _, a := range analyzers {
+		// One line per rule: collapse whitespace, keep the first
+		// clause, and cap the width so the roster scans as a table.
+		doc := strings.Join(strings.Fields(a.Doc), " ")
+		if i := strings.Index(doc, "; "); i > 0 {
+			doc = doc[:i]
+		}
+		const maxDoc = 100
+		if len(doc) > maxDoc {
+			if i := strings.LastIndex(doc[:maxDoc], " "); i > 0 {
+				doc = doc[:i] + " ..."
+			}
+		}
+		fmt.Fprintf(&b, "%-*s  %s\n", width, a.Name, strings.TrimRight(doc, " ,"))
+	}
+	return b.String()
 }
 
 // finding is the machine-readable form of one diagnostic: file is

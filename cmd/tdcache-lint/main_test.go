@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"tdcache/internal/analysis/driver"
@@ -76,6 +77,41 @@ func TestCollectMatchesCheckedInBaseline(t *testing.T) {
 	}
 	for _, f := range filterNew(findings, baseline) {
 		t.Errorf("finding not covered by baseline: %s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Rule, f.Message)
+	}
+}
+
+// TestRosterListsAllAnalyzers pins the `-list` surface: the suite is
+// exactly the eleven rules the README documents, in sorted order, each
+// with a usable one-line doc.
+func TestRosterListsAllAnalyzers(t *testing.T) {
+	want := []string{
+		"atomiccheck", "detrand", "floatcmp", "hotpath", "lifecycle",
+		"lockcheck", "mapiter", "purecheck", "resetcheck", "sweeppure",
+		"unitflow",
+	}
+	if len(analyzers) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(analyzers), len(want))
+	}
+	for i, a := range analyzers {
+		if a.Name != want[i] {
+			t.Errorf("analyzers[%d] = %s, want %s (keep the list sorted)", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no doc", a.Name)
+		}
+	}
+
+	lines := strings.Split(strings.TrimRight(roster(), "\n"), "\n")
+	if len(lines) != len(want) {
+		t.Fatalf("-list printed %d lines, want %d:\n%s", len(lines), len(want), roster())
+	}
+	for i, line := range lines {
+		if !strings.HasPrefix(line, want[i]) {
+			t.Errorf("-list line %d = %q, want prefix %q", i, line, want[i])
+		}
+		if fields := strings.Fields(line); len(fields) < 2 {
+			t.Errorf("-list line %d has no doc: %q", i, line)
+		}
 	}
 }
 

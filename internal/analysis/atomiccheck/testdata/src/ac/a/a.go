@@ -1,0 +1,75 @@
+// Package a exercises the atomiccheck violation classes: plain reads,
+// plain writes, and address escapes of fields updated via sync/atomic;
+// value copies of typed atomics; and both mixed-discipline shapes
+// (a //guard: field with an atomic type, and atomic calls on a
+// //guard: field) — plus the clean idioms and an accepted
+// `//lint:allow atomiccheck` suppression.
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Gauge mixes address-based atomics (hits), typed atomics (inflight),
+// and mutex-guarded state (mode, steps) on one struct.
+type Gauge struct {
+	// hits is atomic by use: Record passes its address to atomic.Add.
+	hits uint64
+
+	// inflight is atomic by type.
+	inflight atomic.Int64
+
+	mu sync.Mutex
+
+	//guard:mu
+	mode atomic.Uint32 // want `mixed discipline: field mode is //guard:mu-guarded but has atomic type atomic\.Uint32 — pick the mutex or the atomic, not both`
+
+	//guard:mu
+	steps uint64
+}
+
+// Record is the sanctioned access: address into sync/atomic.
+func (g *Gauge) Record() {
+	atomic.AddUint64(&g.hits, 1)
+	g.inflight.Add(1)
+}
+
+// Snapshot loads through the API: clean.
+func (g *Gauge) Snapshot() (uint64, int64) {
+	return atomic.LoadUint64(&g.hits), g.inflight.Load()
+}
+
+// PlainRead bypasses the atomic load.
+func (g *Gauge) PlainRead() uint64 {
+	return g.hits // want `plain read of g\.hits, which is updated via atomic\.AddUint64 elsewhere — use the atomic load`
+}
+
+// PlainWrite tears against concurrent atomic adds.
+func (g *Gauge) PlainWrite() {
+	g.hits = 0 // want `plain write to g\.hits, which is updated via atomic\.AddUint64 elsewhere`
+}
+
+// Escape leaks a mutable alias no atomic op can see.
+func (g *Gauge) Escape() *uint64 {
+	return &g.hits // want `address of g\.hits escapes atomic discipline`
+}
+
+// Copy forks the typed counter by value.
+func (g *Gauge) Copy() atomic.Int64 {
+	return g.inflight // want `atomic-typed field g\.inflight \(atomic\.Int64\) read or copied without its methods`
+}
+
+// Bump applies atomic ops to a mutex-guarded field: the second mixed-
+// discipline shape, reported at the call site.
+func (g *Gauge) Bump() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	atomic.AddUint64(&g.steps, 1) // want `atomic\.AddUint64 on field steps, which is //guard:mu-guarded — mixed lock/atomic discipline`
+}
+
+// Drain documents a read the checker cannot prove quiescent; the
+// suppression is accepted, so no diagnostic survives.
+func (g *Gauge) Drain() uint64 {
+	return g.hits //lint:allow atomiccheck read-after-Wait: all writers joined before this load
+}

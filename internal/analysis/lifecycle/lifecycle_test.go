@@ -1,0 +1,12 @@
+package lifecycle_test
+
+import (
+	"testing"
+
+	"tdcache/internal/analysis/analysistest"
+	"tdcache/internal/analysis/lifecycle"
+)
+
+func TestLifecycle(t *testing.T) {
+	analysistest.Run(t, "testdata", lifecycle.Analyzer, "lf/a")
+}

@@ -1,0 +1,186 @@
+// Package a exercises the lifecycle violation classes: untied
+// goroutines, half-wired WaitGroups (Done without Add, Add/Done
+// without Wait), channels drained but never closed or closed only in
+// unreachable helpers, unresolvable spawn targets, unbuffered and
+// over-capacity and looped sends — plus the sanctioned shapes
+// (WaitGroup pairing, context cancellation, close-from-Close through
+// the call graph, Close-managed captured objects, select-guarded
+// sends, per-iteration channels) and accepted `//lint:allow
+// lifecycle` suppressions for both rules.
+package a
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+// ---- goroutine shutdown edges ----
+
+// Leak spawns with no tie of any kind.
+func Leak() {
+	go work() // want `go statement is tied to no shutdown edge: no WaitGroup Add/Done/Wait, no context cancellation, no close-drained channel, and no captured object with a Close/Shutdown/Stop`
+}
+
+// HalfDone calls Done on a WaitGroup nothing Adds to.
+func HalfDone() {
+	var ghost sync.WaitGroup
+	go func() { // want `goroutine calls ghost\.Done but no Add on that WaitGroup was found — Add/Done/Wait must pair`
+		defer ghost.Done()
+		work()
+	}()
+}
+
+// NoJoin Adds and Dones but nothing ever Waits.
+func NoJoin() {
+	var orphan sync.WaitGroup
+	orphan.Add(1)
+	go func() { // want `goroutine is counted on WaitGroup orphan by Add/Done, but no Wait was found — shutdown never joins it`
+		defer orphan.Done()
+		work()
+	}()
+}
+
+// Paired is the sanctioned WaitGroup shape: clean.
+func Paired() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// WithCtx observes cancellation: clean.
+func WithCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// DrainForever ranges a channel no one ever closes.
+func DrainForever() {
+	feed := make(chan int)
+	go func() { // want `goroutine drains channel feed, which is never closed — it cannot exit at shutdown`
+		for range feed {
+			work()
+		}
+	}()
+	feed <- 1 // want `send on unbuffered channel feed outside a select: it blocks forever if the receiver is gone`
+}
+
+// Bad closes its drain channel only in a helper nothing on the
+// shutdown surface calls.
+type Bad struct {
+	jobs chan int
+}
+
+// Start spawns the drain loop.
+func (b *Bad) Start() {
+	go b.loop() // want `goroutine drains channel jobs, closed only in cleanup — not reachable from any Close/Shutdown/Stop method, main, or the spawning function`
+}
+
+func (b *Bad) loop() {
+	for range b.jobs {
+		work()
+	}
+}
+
+// cleanup is dead shutdown code: no Close/Shutdown/Stop reaches it.
+func (b *Bad) cleanup() {
+	close(b.jobs)
+}
+
+// Svc is the sanctioned worker-pool shape: Close closes the channel
+// the goroutine drains, and the drain loop is found through the call
+// graph (Start → loop), not just the literal body.
+type Svc struct {
+	jobs chan int
+}
+
+// Start spawns the drain loop: clean.
+func (s *Svc) Start() {
+	go s.loop()
+}
+
+func (s *Svc) loop() {
+	for range s.jobs {
+		work()
+	}
+}
+
+// Close drains the pool.
+func (s *Svc) Close() {
+	close(s.jobs)
+}
+
+// Shed spawns a dynamic target the checker cannot resolve.
+func Shed(fn func()) {
+	go fn() // want `cannot resolve goroutine target statically`
+}
+
+// Trusted documents an externally joined goroutine; the suppression
+// is accepted, so no diagnostic survives.
+func Trusted(fn func()) {
+	go fn() //lint:allow lifecycle joined by the caller's errgroup; proven by TestTrustedJoins
+}
+
+// ---- channel sends ----
+
+// Overfill's second send exceeds the buffer: only the overflow send
+// is the finding.
+func Overfill() chan int {
+	buf := make(chan int, 1)
+	buf <- 1
+	buf <- 2 // want `send #2 on channel buf exceeds its capacity 1: this send can block with no receiver`
+	return buf
+}
+
+// LoopSend sends an unbounded number of times into a fixed buffer.
+func LoopSend(n int) chan int {
+	out := make(chan int, 4)
+	for i := 0; i < n; i++ {
+		out <- i // want `send on bounded channel out inside a loop: capacity 4 cannot bound an unbounded number of sends`
+	}
+	return out
+}
+
+// FreshPerIteration makes the channel inside the loop, so each
+// iteration's single send is capacity-matched: clean.
+func FreshPerIteration() {
+	for i := 0; i < 3; i++ {
+		one := make(chan int, 1)
+		one <- i
+	}
+}
+
+// Guarded sends under select with a default: clean.
+func Guarded(results chan int) {
+	select {
+	case results <- 1:
+	default:
+	}
+}
+
+// Opaque sends on a parameter whose capacity is not visible.
+func Opaque(results chan int) {
+	results <- 1 // want `send on channel results, whose capacity is not visible here`
+}
+
+// Fielded sends on a channel field the checker cannot bound.
+type Fielded struct {
+	out chan int
+}
+
+func (f *Fielded) Emit() {
+	f.out <- 1 // want `send on f\.out, whose capacity cannot be proven to bound this send`
+}
+
+// EmitTrusted documents the protocol instead; the suppression is
+// accepted, so no diagnostic survives.
+func (f *Fielded) EmitTrusted() {
+	//lint:allow lifecycle capacity equals producer count; proven by TestEmitNeverBlocks
+	f.out <- 1
+}

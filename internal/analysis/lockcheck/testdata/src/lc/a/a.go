@@ -1,0 +1,142 @@
+// Package a exercises the lockcheck violation classes: unguarded
+// reads and writes, access after release, writes under the read lock,
+// partially-locked paths, closure escape, unmet //locks:held
+// obligations, malformed annotations — plus the sanctioned idioms
+// (constructor-local fills, properly held accesses, seeded helper
+// methods, and an accepted `//lint:allow lockcheck` suppression).
+package a
+
+import "sync"
+
+// Counter is the annotated surface under test.
+type Counter struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+
+	//guard:mu
+	n int
+
+	//guard:rw
+	snapshot []int
+
+	//guard:missing
+	orphan int // want `//guard:missing on field orphan names no sibling sync\.Mutex or sync\.RWMutex field in struct Counter`
+}
+
+// NewCounter fills fields on a local value before it escapes; locals
+// are not tracked roots, so the constructor idiom stays clean.
+func NewCounter() *Counter {
+	c := &Counter{}
+	c.n = 1
+	c.snapshot = []int{1}
+	return c
+}
+
+// Get holds the exclusive lock across the read: clean.
+func (c *Counter) Get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// View reads under the read lock: clean.
+func (c *Counter) View() int {
+	c.rw.RLock()
+	defer c.rw.RUnlock()
+	return len(c.snapshot)
+}
+
+// Peek reads without any lock.
+func (c *Counter) Peek() int {
+	return c.n // want `unguarded read of c\.n in \(\*Counter\)\.Peek: //guard:mu requires c\.mu held \(Lock or RLock\) on every path to this access`
+}
+
+// Bump writes without any lock.
+func (c *Counter) Bump() {
+	c.n++ // want `unguarded write to c\.n in \(\*Counter\)\.Bump: //guard:mu requires c\.mu\.Lock held on every path to this access`
+}
+
+// Stale releases the lock and then reads: the access after Unlock is
+// the finding, the locked write above it is clean.
+func (c *Counter) Stale() int {
+	c.mu.Lock()
+	c.n = 1
+	c.mu.Unlock()
+	return c.n // want `unguarded read of c\.n in \(\*Counter\)\.Stale`
+}
+
+// Mutate writes under RLock only: concurrent readers can observe the
+// torn write, its own violation class.
+func (c *Counter) Mutate() {
+	c.rw.RLock()
+	defer c.rw.RUnlock()
+	c.snapshot = nil // want `write to c\.snapshot in \(\*Counter\)\.Mutate under c\.rw\.RLock only: writes to a //guard:rw field need the exclusive Lock`
+}
+
+// Sometimes locks on only one branch; the merge point drops the lock
+// from the held set, so the access is not covered on every path.
+func (c *Counter) Sometimes(b bool) {
+	if b {
+		c.mu.Lock()
+	}
+	c.n++ // want `unguarded write to c\.n in \(\*Counter\)\.Sometimes`
+	if b {
+		c.mu.Unlock()
+	}
+}
+
+// Spawn writes from a goroutine launched while the lock is held: the
+// closure runs later, after the spawner released, so it inherits
+// nothing.
+func (c *Counter) Spawn() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++ // want `unguarded write to c\.n in function literal in \(\*Counter\)\.Spawn`
+	}()
+}
+
+// bumpLocked runs with the exclusive lock already held, declared so
+// its body is seeded and its callers are obligated.
+//
+//locks:held mu
+func (c *Counter) bumpLocked() {
+	c.n++
+}
+
+// lenLocked needs only the read side.
+//
+//locks:held-read rw
+func (c *Counter) lenLocked() int {
+	return len(c.snapshot)
+}
+
+// CallBare invokes the annotated helpers without holding anything.
+func (c *Counter) CallBare() int {
+	c.bumpLocked()       // want `call to bumpLocked in \(\*Counter\)\.CallBare requires c\.mu held \(//locks:held on bumpLocked\), but it is not held on every path to this call`
+	return c.lenLocked() // want `call to lenLocked in \(\*Counter\)\.CallBare requires c\.rw held`
+}
+
+// CallHeld meets both obligations: clean.
+func (c *Counter) CallHeld() int {
+	c.mu.Lock()
+	c.bumpLocked()
+	c.mu.Unlock()
+	c.rw.RLock()
+	defer c.rw.RUnlock()
+	return c.lenLocked()
+}
+
+// drain exercises a parameter (not receiver) as the tracked root.
+func drain(c *Counter) int {
+	c.mu.Lock()
+	c.n = 0
+	c.mu.Unlock()
+	return c.n // want `unguarded read of c\.n in drain`
+}
+
+// Teardown documents a single-threaded read the checker cannot see;
+// the suppression is accepted, so no diagnostic survives.
+func (c *Counter) Teardown() int {
+	return c.n //lint:allow lockcheck sole goroutine at teardown; no concurrent access remains
+}

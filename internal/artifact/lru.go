@@ -29,12 +29,17 @@ type lruEntry struct {
 // least-recently-used order when the budget is exceeded. Safe for
 // concurrent use.
 type LRU struct {
-	mu    sync.Mutex
-	max   int64
+	mu sync.Mutex
+	// max is the immutable byte budget, set once at construction.
+	max int64
+	//guard:mu
 	bytes int64
-	ll    *list.List // front = most recently used; values are *lruEntry
+	//guard:mu
+	ll *list.List // front = most recently used; values are *lruEntry
+	//guard:mu
 	items map[CacheKey]*list.Element
 
+	//guard:mu
 	hits, misses, evictions uint64
 }
 

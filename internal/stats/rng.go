@@ -18,7 +18,11 @@ import (
 // The zero value is not usable; construct with NewRNG.
 //
 // RNG is not safe for concurrent use; derive one generator per goroutine
-// with Split.
+// with Split. The confinement is deliberate: RNG carries no mutex and no
+// atomics (the concurrency lint suite would flag either as a discipline
+// for shared state), so a generator must stay owned by the goroutine
+// that derived it — sharing one behind a lock would serialize the
+// Monte-Carlo hot loop and still break replay order.
 type RNG struct {
 	s [4]uint64
 	// spare caches the second Gaussian variate produced by the

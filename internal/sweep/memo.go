@@ -14,8 +14,10 @@ import "sync"
 // ran it). The zero Memo is ready to use.
 type Memo[K comparable, V any] struct {
 	mu sync.Mutex
-	m  map[K]*memoEntry[V]
+	//guard:mu
+	m map[K]*memoEntry[V]
 	// computes counts compute invocations (diagnostics and tests).
+	//guard:mu
 	computes uint64
 }
 

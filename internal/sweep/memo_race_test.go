@@ -1,0 +1,77 @@
+package sweep
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestMemoForgetRacesDo pins the eviction-during-singleflight
+// contract the serve layer depends on (it Forgets entries poisoned by
+// transient store errors): a Forget that lands while a compute is in
+// flight must not let any later Do observe the in-flight (stale)
+// value — the first caller keeps its own result, every caller after
+// the Forget gets a fresh computation. Run under -race, this also
+// proves the mu discipline on the entry map and counter.
+func TestMemoForgetRacesDo(t *testing.T) {
+	var m Memo[string, string]
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	firstDone := make(chan string, 1)
+	go func() {
+		firstDone <- m.Do("k", func() string {
+			close(started)
+			<-release
+			return "stale"
+		})
+	}()
+
+	<-started
+	// Evict the in-flight entry, exactly what the serve layer does
+	// when a compute comes back with a transient error.
+	m.Forget("k")
+
+	secondDone := make(chan string, 1)
+	go func() {
+		secondDone <- m.Do("k", func() string { return "fresh" })
+	}()
+
+	// The post-Forget caller must recompute immediately — it must not
+	// block on (or be served) the evicted in-flight entry.
+	if got := <-secondDone; got != "fresh" {
+		t.Fatalf("Do after Forget served stale value %q", got)
+	}
+	close(release)
+	if got := <-firstDone; got != "stale" {
+		t.Fatalf("in-flight caller got %q, want its own computation", got)
+	}
+	if got := m.Computes(); got != 2 {
+		t.Fatalf("Computes = %d, want 2 (one per generation)", got)
+	}
+	if v, ok := m.Lookup("k"); !ok || v != "fresh" {
+		t.Fatalf("Lookup after the race = %q, %v; want \"fresh\", true", v, ok)
+	}
+}
+
+// TestMemoForgetDoHammer drives concurrent Do and Forget on one key;
+// the race detector checks the locking, and every caller must receive
+// a fully computed value, never the zero value of an evicted entry.
+func TestMemoForgetDoHammer(t *testing.T) {
+	var m Memo[int, int]
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if g%2 == 0 {
+					m.Forget(7)
+				}
+				if v := m.Do(7, func() int { return 42 }); v != 42 {
+					t.Errorf("Do returned %d, want 42", v)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
