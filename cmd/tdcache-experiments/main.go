@@ -60,7 +60,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		defer f.Close()
+		defer func() {
+			// The profile is flushed by StopCPUProfile (deferred after
+			// us, so it runs first); a failed close means a truncated
+			// profile and deserves a complaint.
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "tdcache-experiments: closing cpu profile:", err)
+			}
+		}()
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -68,16 +75,20 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 	if *memprofile != "" {
+		// Create eagerly so an unwritable path fails the run up front,
+		// not after minutes of simulation; the write happens at exit.
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		defer func() {
-			f, err := os.Create(*memprofile)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				return
-			}
-			defer f.Close()
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
 				fmt.Fprintln(os.Stderr, err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "tdcache-experiments: closing heap profile:", err)
 			}
 		}()
 	}
@@ -170,6 +181,7 @@ func runAll(p *tdcache.ExperimentParams, f tdcache.ArtifactFormat, store *tdcach
 			if _, err := fmt.Fprintf(w, "# %s\n%s\n", sp.ID, data); err != nil {
 				return err
 			}
+		//enum:default FormatText is the classic ===== id ===== report; -format gates foreign values
 		default:
 			if _, err := fmt.Fprintf(w, "===== %s =====\n%s\n", sp.ID, data); err != nil {
 				return err

@@ -1,11 +1,12 @@
-// Command tdcache-lint is the determinism, physical-correctness, and
-// concurrency-safety lint suite: it runs the four reproducibility
-// analyzers (detrand, mapiter, resetcheck, sweeppure), the two
-// unit-discipline analyzers (unitflow, floatcmp), the two
-// interprocedural call-graph analyzers (hotpath, purecheck), and the
-// three concurrency analyzers (lockcheck, atomiccheck, lifecycle)
-// over the repository and fails on any finding. `tdcache-lint -list`
-// prints the roster.
+// Command tdcache-lint is the determinism, physical-correctness,
+// concurrency-safety, and error-discipline lint suite: it runs the
+// four reproducibility analyzers (detrand, mapiter, resetcheck,
+// sweeppure), the two unit-discipline analyzers (unitflow, floatcmp),
+// the two interprocedural call-graph analyzers (hotpath, purecheck),
+// the three concurrency analyzers (lockcheck, atomiccheck, lifecycle),
+// and the three error-and-resource analyzers (errflow, closecheck,
+// exhaustcheck) over the repository and fails on any finding.
+// `tdcache-lint -list` prints the roster.
 //
 // Two invocation modes:
 //
@@ -35,8 +36,11 @@ import (
 	"strings"
 
 	"tdcache/internal/analysis/atomiccheck"
+	"tdcache/internal/analysis/closecheck"
 	"tdcache/internal/analysis/detrand"
 	"tdcache/internal/analysis/driver"
+	"tdcache/internal/analysis/errflow"
+	"tdcache/internal/analysis/exhaustcheck"
 	"tdcache/internal/analysis/floatcmp"
 	"tdcache/internal/analysis/framework"
 	"tdcache/internal/analysis/hotpath"
@@ -50,11 +54,15 @@ import (
 )
 
 // analyzers is the full suite — the four determinism rules, the two
-// physical-correctness rules, the two call-graph rules, and the three
-// concurrency rules — in reporting order.
+// physical-correctness rules, the two call-graph rules, the three
+// concurrency rules, and the three error-and-resource rules — in
+// reporting order.
 var analyzers = []*framework.Analyzer{
 	atomiccheck.Analyzer,
+	closecheck.Analyzer,
 	detrand.Analyzer,
+	errflow.Analyzer,
+	exhaustcheck.Analyzer,
 	floatcmp.Analyzer,
 	hotpath.Analyzer,
 	lifecycle.Analyzer,

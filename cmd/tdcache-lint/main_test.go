@@ -81,13 +81,13 @@ func TestCollectMatchesCheckedInBaseline(t *testing.T) {
 }
 
 // TestRosterListsAllAnalyzers pins the `-list` surface: the suite is
-// exactly the eleven rules the README documents, in sorted order, each
-// with a usable one-line doc.
+// exactly the fourteen rules the README documents, in sorted order,
+// each with a usable one-line doc.
 func TestRosterListsAllAnalyzers(t *testing.T) {
 	want := []string{
-		"atomiccheck", "detrand", "floatcmp", "hotpath", "lifecycle",
-		"lockcheck", "mapiter", "purecheck", "resetcheck", "sweeppure",
-		"unitflow",
+		"atomiccheck", "closecheck", "detrand", "errflow", "exhaustcheck",
+		"floatcmp", "hotpath", "lifecycle", "lockcheck", "mapiter",
+		"purecheck", "resetcheck", "sweeppure", "unitflow",
 	}
 	if len(analyzers) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(analyzers), len(want))

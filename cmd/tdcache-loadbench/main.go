@@ -177,7 +177,11 @@ func measure(cfg config, workers, maxInflight int) (runStats, map[string]string,
 	if err != nil {
 		return runStats{}, nil, err
 	}
-	defer os.RemoveAll(dir)
+	defer func() {
+		if err := os.RemoveAll(dir); err != nil {
+			fmt.Fprintln(os.Stderr, "tdcache-loadbench: cleaning scratch store:", err)
+		}
+	}()
 	st, err := artifact.NewStore(dir)
 	if err != nil {
 		return runStats{}, nil, err

@@ -90,7 +90,11 @@ func run(addr, storeDir, pprofAddr string, parallel int, opts serve.Options) err
 				fmt.Fprintf(os.Stderr, "tdcache-serve: pprof: %v\n", err)
 			}
 		}()
-		defer psrv.Close()
+		defer func() {
+			if err := psrv.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "tdcache-serve: closing pprof server: %v\n", err)
+			}
+		}()
 	}
 
 	srv := &http.Server{

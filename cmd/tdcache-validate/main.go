@@ -52,6 +52,8 @@ func run(r io.Reader, w io.Writer) error {
 			return fmt.Errorf("tdcache-validate: artifact %d: %w", i, err)
 		}
 	}
-	fmt.Fprintf(w, "tdcache-validate: %d artifact(s) valid\n", len(tables))
+	if _, err := fmt.Fprintf(w, "tdcache-validate: %d artifact(s) valid\n", len(tables)); err != nil {
+		return fmt.Errorf("tdcache-validate: reporting: %w", err)
+	}
 	return nil
 }

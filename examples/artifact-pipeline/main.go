@@ -50,7 +50,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer os.RemoveAll(dir)
+	defer func() {
+		if err := os.RemoveAll(dir); err != nil {
+			log.Printf("cleaning scratch store: %v", err)
+		}
+	}()
 	store, err := tdcache.NewArtifactStore(dir)
 	if err != nil {
 		log.Fatal(err)

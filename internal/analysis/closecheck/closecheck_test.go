@@ -1,0 +1,12 @@
+package closecheck_test
+
+import (
+	"testing"
+
+	"tdcache/internal/analysis/analysistest"
+	"tdcache/internal/analysis/closecheck"
+)
+
+func TestClosecheck(t *testing.T) {
+	analysistest.Run(t, "testdata", closecheck.Analyzer, "cc/a")
+}

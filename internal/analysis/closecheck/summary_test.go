@@ -1,0 +1,102 @@
+package closecheck
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// TestSummarizeParamEffects pins the per-parameter obligation-transfer
+// summaries that carry release facts across call edges: a helper that
+// provably closes its parameter discharges the caller's obligation, a
+// read-only helper leaves it with the caller, and anything that
+// stores, forwards, returns, or captures the value moves ownership.
+func TestSummarizeParamEffects(t *testing.T) {
+	const src = `package p
+
+import "os"
+
+var kept *os.File
+
+func other(f *os.File) {}
+
+func CloseIt(f *os.File) error { return f.Close() }
+
+func Peek(f *os.File) (int64, error) { return f.Seek(0, 1) }
+
+func Check(f *os.File) bool { return f != nil }
+
+func Keep(f *os.File) { kept = f }
+
+func Forward(f *os.File) { other(f) }
+
+func Capture(f *os.File) {
+	go func() { _ = f.Close() }()
+}
+
+func Mixed(a, b *os.File) error {
+	kept = a
+	return b.Close()
+}
+
+func CloseAndPeek(f *os.File) error {
+	if _, err := f.Seek(0, 0); err != nil {
+		return err
+	}
+	return f.Close()
+}
+`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatal(err)
+	}
+
+	want := map[string][]paramEffect{
+		"CloseIt":      {effCloses},
+		"Peek":         {effNone},
+		"Check":        {effNone},
+		"Keep":         {effEscapes},
+		"Forward":      {effEscapes},
+		"Capture":      {effEscapes}, // a goroutine may outlive the caller's paths
+		"Mixed":        {effEscapes, effCloses},
+		"CloseAndPeek": {effCloses},
+	}
+	seen := 0
+	for _, d := range file.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		exp, ok := want[fd.Name.Name]
+		if !ok {
+			continue
+		}
+		seen++
+		got := summarize(info, fd)
+		if len(got) != len(exp) {
+			t.Errorf("%s: %d param effects, want %d", fd.Name.Name, len(got), len(exp))
+			continue
+		}
+		for i := range exp {
+			if got[i] != exp[i] {
+				t.Errorf("%s param %d: effect = %d, want %d", fd.Name.Name, i, got[i], exp[i])
+			}
+		}
+	}
+	if seen != len(want) {
+		t.Fatalf("matched %d declarations, want %d", seen, len(want))
+	}
+}

@@ -1,0 +1,213 @@
+// Package a exercises the closecheck violation classes: leaks of
+// files, response bodies, listeners, temp dirs, and module Closers on
+// some or all paths; double closes (direct and through a releasing
+// helper); releases sequenced before the companion error check;
+// reassignment over an open obligation; blank discards — plus the
+// sanctioned idioms (defer-after-check, error-path discharge,
+// ownership transfers, read-only helpers, and an accepted
+// `//lint:allow closecheck` suppression).
+package a
+
+import (
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"cc/helper"
+)
+
+// Leak checks the error but never closes the file on the happy path.
+func Leak(p string) (int, error) {
+	f, err := os.Open(p) // want `file acquired here is not closed on every path through Leak`
+	if err != nil {
+		return 0, err
+	}
+	return int(f.Fd()), nil
+}
+
+// Fetch closes the body on the happy path but leaks it when the
+// status check bails out first.
+func Fetch(url string) ([]byte, error) {
+	resp, err := http.Get(url) // want `response body acquired here is not closed on every path through Fetch`
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, errors.New("bad status")
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+// Serve reuses err for the second acquisition, so the error path of
+// the open leaks the listener: returning err no longer proves the
+// listen failed.
+func Serve(addr, p string) error {
+	ln, err := net.Listen("tcp", addr) // want `listener acquired here is not closed on every path through Serve`
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(p)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	return f.Close()
+}
+
+// DoubleClose releases twice.
+func DoubleClose(p string) error {
+	f, err := os.Open(p)
+	if err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return f.Close() // want `second release of f: the release at line \d+ already discharged the file acquired at line \d+`
+}
+
+// DeferEarly defers the close before anyone has looked at err: on the
+// failure path f is nil and the deferred Close panics.
+func DeferEarly(p string) error {
+	f, err := os.Open(p)
+	defer f.Close() // want `f is released before the companion error from line \d+ is checked`
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// Scratch leaks the temp dir when the write fails; note the shadowed
+// err — returning it says nothing about the MkdirTemp call.
+func Scratch() (string, error) {
+	dir, err := os.MkdirTemp("", "scratch") // want `temp dir acquired here is not removed \(or renamed into place\) on every path through Scratch`
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "x"), nil, 0o600); err != nil {
+		return "", err
+	}
+	return dir, nil
+}
+
+// ScratchClean removes the dir on every path: clean.
+func ScratchClean() error {
+	dir, err := os.MkdirTemp("", "scratch")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	return os.WriteFile(filepath.Join(dir, "x"), nil, 0o600)
+}
+
+// CloseTwice releases through the helper, then again directly: the
+// helper's summary proves the first release.
+func CloseTwice(p string) error {
+	f, err := os.Open(p)
+	if err != nil {
+		return err
+	}
+	if err := helper.CloseFile(f); err != nil {
+		return err
+	}
+	return f.Close() // want `second release of f: the release at line \d+ already discharged the file acquired at line \d+`
+}
+
+// PeekLeaks passes the file to a read-only helper; the obligation
+// stays here and nobody discharges it.
+func PeekLeaks(p string) (int64, error) {
+	f, err := os.Open(p) // want `file acquired here is not closed on every path through PeekLeaks`
+	if err != nil {
+		return 0, err
+	}
+	n := helper.Peek(f)
+	return n, nil
+}
+
+// EscapeKeep hands ownership to a storing helper: the obligation
+// moves, no finding.
+func EscapeKeep(p string) error {
+	f, err := os.Open(p)
+	if err != nil {
+		return err
+	}
+	helper.Keep(f)
+	return nil
+}
+
+// UseCloser never closes the constructed value; c.Path() reads it
+// without discharging anything.
+func UseCloser(p string) (string, error) {
+	c, err := helper.New(p) // want `value with a Close obligation acquired here is not closed on every path through UseCloser`
+	if err != nil {
+		return "", err
+	}
+	return c.Path(), nil
+}
+
+// UseCloserRight defers the close after the check: clean.
+func UseCloserRight(p string) (string, error) {
+	c, err := helper.New(p)
+	if err != nil {
+		return "", err
+	}
+	defer c.Close()
+	return c.Path(), nil
+}
+
+// Reacquire overwrites f while its first obligation is still open.
+func Reacquire(p, q string) error {
+	f, err := os.Open(p)
+	if err != nil {
+		return err
+	}
+	f, err = os.Open(q) // want `f is reassigned before the file acquired at line \d+ is released`
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// BlankBody throws the response away but the body still needs closing.
+func BlankBody(url string) error {
+	_, err := http.Get(url) // want `response body from http\.Get is discarded with _`
+	return err
+}
+
+// Pinned documents a process-lifetime handle; the suppression is
+// accepted, so no diagnostic survives.
+func Pinned(p string) uintptr {
+	f, _ := os.Open(p) //lint:allow closecheck process-lifetime handle; the OS reclaims it at exit
+	return uintptr(f.Fd())
+}
+
+// CleanCopy is the idiomatic shape: every acquisition checked, every
+// obligation deferred after its check.
+func CleanCopy(src, dst string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	_, err = io.Copy(out, in)
+	return err
+}
+
+// Captured hands the file to a closure: ownership is no longer
+// path-trackable here, so no finding.
+func Captured(p string) (func() error, error) {
+	f, err := os.Open(p)
+	if err != nil {
+		return nil, err
+	}
+	return func() error { return f.Close() }, nil
+}

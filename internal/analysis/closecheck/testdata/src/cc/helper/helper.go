@@ -1,0 +1,43 @@
+// Package helper is the module-local callee for the summary rules: a
+// helper that closes its argument, one that only reads it, one that
+// stores it, and a constructor whose result carries a Close obligation.
+package helper
+
+import (
+	"io"
+	"os"
+)
+
+// Closer wraps a file; its Close obligation travels with the value.
+type Closer struct{ f *os.File }
+
+// New opens p and hands the caller a Close obligation.
+func New(p string) (*Closer, error) {
+	f, err := os.Open(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Closer{f: f}, nil
+}
+
+// Close releases the wrapped file.
+func (c *Closer) Close() error { return c.f.Close() }
+
+// Path reads without releasing.
+func (c *Closer) Path() string { return c.f.Name() }
+
+// CloseFile releases its argument: callers' obligations are
+// discharged (effCloses).
+func CloseFile(f *os.File) error { return f.Close() }
+
+// Peek only reads its argument: the obligation stays with the caller
+// (effNone).
+func Peek(f *os.File) int64 {
+	n, _ := f.Seek(0, io.SeekCurrent)
+	return n
+}
+
+var kept *os.File
+
+// Keep stores its argument: ownership moves (effEscapes).
+func Keep(f *os.File) { kept = f }

@@ -95,7 +95,7 @@ func modulePath(gomod string) (string, error) {
 func FindModuleRoot(dir string) (string, error) {
 	dir, err := filepath.Abs(dir)
 	if err != nil {
-		return "", err
+		return "", fmt.Errorf("driver: resolving %s: %w", dir, err)
 	}
 	for {
 		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
@@ -216,7 +216,11 @@ func (li *loaderImporter) Import(path string) (*types.Package, error) {
 	if l.std == nil {
 		l.std = importer.ForCompiler(l.Fset, "source", nil).(types.ImporterFrom)
 	}
-	return l.std.Import(path)
+	pkg, err := l.std.Import(path)
+	if err != nil {
+		return nil, fmt.Errorf("driver: importing %s: %w", path, err)
+	}
+	return pkg, nil
 }
 
 // Expand resolves command-line patterns ("./...", "./internal/core",
@@ -272,7 +276,7 @@ func (l *Loader) Expand(patterns []string) ([]string, error) {
 				return nil
 			})
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("driver: expanding %s: %w", pat, err)
 			}
 			continue
 		}
@@ -282,7 +286,7 @@ func (l *Loader) Expand(patterns []string) ([]string, error) {
 		}
 		rel, err := filepath.Rel(l.ModuleRoot, dir)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("driver: expanding %s: %w", pat, err)
 		}
 		add(rel)
 	}

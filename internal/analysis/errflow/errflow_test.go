@@ -1,0 +1,12 @@
+package errflow_test
+
+import (
+	"testing"
+
+	"tdcache/internal/analysis/analysistest"
+	"tdcache/internal/analysis/errflow"
+)
+
+func TestErrflow(t *testing.T) {
+	analysistest.Run(t, "testdata", errflow.Analyzer, "ef/a", "ef/h")
+}

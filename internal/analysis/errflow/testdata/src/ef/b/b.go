@@ -1,0 +1,11 @@
+// Package b is the module-local foreign callee for the cross-package
+// wrap rule: its errors cross a package boundary into ef/a.
+package b
+
+import "errors"
+
+// ErrBusy is b's exported sentinel.
+var ErrBusy = errors.New("busy")
+
+// Do fails sometimes.
+func Do() error { return nil }

@@ -1,0 +1,44 @@
+// Package h exercises the //errflow:status-mapper discipline: one
+// annotated mapper per package, and every error status routed through
+// it — ad-hoc http.Error calls and WriteHeader(>=400) elsewhere are
+// findings, success/redirect statuses are not.
+package h
+
+import "net/http"
+
+// fail is the package's single error-to-status mapping point.
+//
+//errflow:status-mapper
+func fail(w http.ResponseWriter, code int, msg string) {
+	w.WriteHeader(code)
+	_, _ = w.Write([]byte(msg)) //lint:allow errflow a client gone mid-error-body has no one left to tell
+}
+
+// Handler routes one failure correctly and two ad hoc.
+func Handler(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/missing" {
+		fail(w, http.StatusNotFound, "missing")
+		return
+	}
+	if r.URL.Path == "/teapot" {
+		http.Error(w, "teapot", http.StatusTeapot) // want `ad-hoc http.Error bypasses this package's //errflow:status-mapper fail`
+		return
+	}
+	if r.URL.Path == "/boom" {
+		w.WriteHeader(http.StatusInternalServerError) // want `error status written outside the //errflow:status-mapper fail`
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// shed computes its status, which only the mapper may do.
+func shed(w http.ResponseWriter, code int) {
+	w.WriteHeader(code) // want `error status written outside the //errflow:status-mapper fail`
+}
+
+// fail2 duplicates the mapper annotation.
+//
+//errflow:status-mapper
+func fail2(w http.ResponseWriter, code int) { // want `duplicate //errflow:status-mapper on fail2`
+	w.WriteHeader(code) // want `error status written outside the //errflow:status-mapper fail`
+}

@@ -1,0 +1,40 @@
+package exhaustcheck
+
+import "testing"
+
+// TestDirectiveGrammar pins the //enum: directive parsing at the
+// token level: closed takes no argument, default requires a non-empty
+// reason, and near-miss spellings fall through to the unrecognized
+// sweep (enumRe matches, neither specific form does).
+func TestDirectiveGrammar(t *testing.T) {
+	cases := []struct {
+		text                         string
+		isEnum, closed, def, bareDef bool
+	}{
+		{"//enum:closed", true, true, false, false},
+		{"//enum:closed extra words", true, false, false, false}, // argument makes it unrecognized
+		{"//enum:closed ", true, false, false, false},            // trailing space is not the exact form
+		{"// enum:closed", false, false, false, false},           // a space after // is prose, not a directive
+		{"//enum:default the zero value shares the float arm", true, false, true, false},
+		{"//enum:default", true, false, false, true},
+		{"//enum:default   ", true, false, false, true}, // whitespace-only reason is still bare
+		{"//enum:defaults to text", true, false, false, false},
+		{"//enum:open", true, false, false, false},
+		{"//lint:allow exhaustcheck reason", false, false, false, false},
+		{"//enum:", true, false, false, false},
+	}
+	for _, c := range cases {
+		if got := enumRe.MatchString(c.text); got != c.isEnum {
+			t.Errorf("enumRe(%q) = %v, want %v", c.text, got, c.isEnum)
+		}
+		if got := closedRe.MatchString(c.text); got != c.closed {
+			t.Errorf("closedRe(%q) = %v, want %v", c.text, got, c.closed)
+		}
+		if got := defaultRe.MatchString(c.text); got != c.def {
+			t.Errorf("defaultRe(%q) = %v, want %v", c.text, got, c.def)
+		}
+		if got := bareDefaultRe.MatchString(c.text); got != c.bareDef {
+			t.Errorf("bareDefaultRe(%q) = %v, want %v", c.text, got, c.bareDef)
+		}
+	}
+}

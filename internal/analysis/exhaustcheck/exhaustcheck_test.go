@@ -1,0 +1,12 @@
+package exhaustcheck_test
+
+import (
+	"testing"
+
+	"tdcache/internal/analysis/analysistest"
+	"tdcache/internal/analysis/exhaustcheck"
+)
+
+func TestExhaustcheck(t *testing.T) {
+	analysistest.Run(t, "testdata", exhaustcheck.Analyzer, "ex/a")
+}

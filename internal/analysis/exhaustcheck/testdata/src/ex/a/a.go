@@ -1,0 +1,192 @@
+// Package a exercises the exhaustcheck violation classes: missing
+// members with no default, unannotated defaults, non-member cases,
+// cross-package enums (const- and var-membered), and the malformed-tag
+// forms — plus the sanctioned shapes (full coverage, multi-expression
+// cases, annotated defaults on and above the line, value-aliased
+// members, and an accepted `//lint:allow exhaustcheck` suppression).
+package a
+
+import (
+	"reflect"
+
+	"ex/b"
+)
+
+// Color is the local closed enum.
+//
+//enum:closed
+type Color int
+
+// The colors; Verde aliases Green by value.
+const (
+	Red Color = iota
+	Green
+	Blue
+	Verde = Green
+)
+
+// Open is an ordinary type: switches over it are unconstrained.
+type Open int
+
+// Full covers every member, Verde by value: clean.
+func Full(c Color) int {
+	switch c {
+	case Red:
+		return 1
+	case Green, Blue:
+		return 2
+	}
+	return 0
+}
+
+// Missing has no default and no Blue.
+func Missing(c Color) int {
+	switch c { // want `switch over closed enum Color is missing members: Blue`
+	case Red:
+		return 1
+	case Green:
+		return 2
+	}
+	return 0
+}
+
+// Defaulted explains its default on the same line: clean.
+func Defaulted(c Color) int {
+	switch c {
+	case Red:
+		return 1
+	default: //enum:default every non-red color renders identically
+		return 0
+	}
+}
+
+// DefaultedAbove explains its default on the line above: clean.
+func DefaultedAbove(c Color) int {
+	switch c {
+	case Red:
+		return 1
+	//enum:default non-red colors share the fallback palette
+	default:
+		return 0
+	}
+}
+
+// Unexplained has a default with no reason at all.
+func Unexplained(c Color) int {
+	switch c {
+	case Red:
+		return 1
+	default: // want `default case in a switch over closed enum Color needs an //enum:default <reason> annotation`
+		return 0
+	}
+}
+
+// BareReason annotates the default but forgets the reason.
+func BareReason(c Color) int {
+	switch c {
+	case Red:
+		return 1
+	case Green, Blue:
+		return 2
+	default: /* // want `//enum:default needs a reason` */ //enum:default
+		return 0
+	}
+}
+
+// NonMember cases a constant outside the declared set.
+func NonMember(c Color) int {
+	switch c {
+	case Red:
+		return 1
+	case Color(9): // want `case Color\(9\) is not a member of closed enum Color`
+		return 9
+	case Green, Blue:
+		return 2
+	}
+	return 0
+}
+
+// Cross switches over the imported const enum and misses a member.
+func Cross(m b.Mode) int {
+	switch m { // want `switch over closed enum Mode is missing members: ModeAuto`
+	case b.ModeOff:
+		return 0
+	case b.ModeOn:
+		return 1
+	}
+	return 2
+}
+
+// CrossFull covers the imported enum: clean.
+func CrossFull(m b.Mode) int {
+	switch m {
+	case b.ModeOff, b.ModeOn, b.ModeAuto:
+		return 1
+	}
+	return 0
+}
+
+// Vars switches over the struct-valued enum and misses a var member.
+func Vars(s b.Scheme) string {
+	switch s { // want `switch over closed enum Scheme is missing members: SchemeB`
+	case b.SchemeA:
+		return "a"
+	}
+	return ""
+}
+
+// VarsFull covers both var members: clean.
+func VarsFull(s b.Scheme) string {
+	switch s {
+	case b.SchemeA:
+		return "a"
+	case b.SchemeB:
+		return "b"
+	}
+	return ""
+}
+
+// Unconstrained switches over an untagged type: clean.
+func Unconstrained(o Open) int {
+	switch o {
+	case 1:
+		return 1
+	}
+	return 0
+}
+
+// Sanctioned documents a deliberately partial dispatch; the
+// suppression is accepted, so no diagnostic survives.
+func Sanctioned(c Color) int {
+	switch c { //lint:allow exhaustcheck the prototype only renders red; TestRenderRed pins the rest to zero
+	case Red:
+		return 1
+	}
+	return 0
+}
+
+// Degraded switches over a cross-package type whose declaring package
+// has no loadable syntax (stdlib: export data only). The type may be a
+// closed enum for all the analyzer can tell, so the //enum:default on
+// its default clause is absorbed, not reported as misplaced — the
+// degraded lane must report strictly fewer findings, never new ones.
+func Degraded(k reflect.Kind) string {
+	switch k {
+	case reflect.String:
+		return "s"
+	//enum:default kinds we cannot enumerate without reflect's syntax share the fallback
+	default:
+		return "?"
+	}
+}
+
+// Empty carries the tag but declares no members.
+//
+//enum:closed
+type Empty int // want `//enum:closed on Empty with no package-level members`
+
+func misdirected() {
+	_ = 1 /* // want `misplaced //enum:closed` */ //enum:closed
+	//enum:default because reasons // want `misplaced //enum:default`
+	//enum:wat is not a thing // want `unrecognized //enum: directive`
+}

@@ -1,0 +1,28 @@
+// Package b declares closed enums consumed across the package
+// boundary: an int-valued one with const members and a struct-valued
+// one with var members.
+package b
+
+// Mode selects a refresh policy.
+//
+//enum:closed
+type Mode int
+
+// The modes.
+const (
+	ModeOff Mode = iota
+	ModeOn
+	ModeAuto
+)
+
+// Scheme is a struct-valued enum: its members are package-level vars,
+// matched by object identity.
+//
+//enum:closed
+type Scheme struct{ Name string }
+
+// The schemes.
+var (
+	SchemeA = Scheme{Name: "a"}
+	SchemeB = Scheme{Name: "b"}
+)

@@ -36,7 +36,11 @@ import (
 	"go/types"
 )
 
-// EdgeKind classifies how a callee is reached.
+// EdgeKind classifies how a callee is reached. The set is closed;
+// switches over EdgeKind must stay exhaustive so a new reference kind
+// surfaces every consumer.
+//
+//enum:closed
 type EdgeKind uint8
 
 const (

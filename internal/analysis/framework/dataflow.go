@@ -46,6 +46,15 @@ func (f *Facts[F]) Forget(obj types.Object) { delete(f.m, obj) }
 // Len reports the number of tracked objects.
 func (f *Facts[F]) Len() int { return len(f.m) }
 
+// Each calls fn for every tracked object. Iteration order is map
+// order; callers that report from it must sort (by object position)
+// before emitting diagnostics.
+func (f *Facts[F]) Each(fn func(obj types.Object, v F)) {
+	for k, v := range f.m {
+		fn(k, v)
+	}
+}
+
 func (f *Facts[F]) clone() *Facts[F] {
 	c := &Facts[F]{m: make(map[types.Object]F, len(f.m))}
 	for k, v := range f.m {
@@ -142,6 +151,28 @@ func Solve[F comparable](cfg *CFG, init *Facts[F], p Problem[F]) *Solution[F] {
 		}
 	}
 	return sol
+}
+
+// Exits returns the post-transfer fact state of every reachable block
+// with no successors — the states that hold when the function returns
+// or falls off the end of its body. Clients that track obligations
+// (an unchecked error, an unclosed file) inspect these states for
+// facts that should have been discharged before exit. Call Exits with
+// reporting still disabled on p: it re-applies Transfer, and a client
+// that reports during transfer would emit duplicates.
+func (s *Solution[F]) Exits(p Problem[F]) []*Facts[F] {
+	var out []*Facts[F]
+	for i, blk := range s.CFG.Blocks {
+		if len(blk.Succs) != 0 || s.In[i] == nil {
+			continue
+		}
+		facts := s.In[i].clone()
+		for _, st := range blk.Stmts {
+			p.Transfer(st, facts)
+		}
+		out = append(out, facts)
+	}
+	return out
 }
 
 // Replay visits every block once with a copy of its converged entry

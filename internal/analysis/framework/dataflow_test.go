@@ -279,3 +279,113 @@ func f(xs []float64, mode int) float64 {
 		t.Errorf("w = %v, want tainted (default clause multiplies)", got)
 	}
 }
+
+// errState models the errflow-shaped fact: an error result is
+// unchecked from its assignment until a comparison mentions it, and a
+// path that skipped the check dominates at joins.
+type errState uint8
+
+const (
+	errUnchecked errState = iota + 1
+	errChecked
+)
+
+type errProblem struct{ info *types.Info }
+
+func (p *errProblem) Join(a, b errState) errState {
+	if a == b {
+		return a
+	}
+	return errUnchecked
+}
+
+func (p *errProblem) Transfer(stmt ast.Stmt, facts *Facts[errState]) {
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		// err := work() / err = work() (re)arms the obligation.
+		if len(s.Lhs) == 1 {
+			if id, ok := s.Lhs[0].(*ast.Ident); ok && id.Name == "err" {
+				facts.Set(ObjectOf(p.info, id), errUnchecked)
+			}
+		}
+	case *ast.ExprStmt:
+		// The CFG wraps if/for conditions in fabricated ExprStmt
+		// headers, so `if err != nil` arrives here as a bare
+		// comparison expression — this test leans on that convention.
+		if be, ok := s.X.(*ast.BinaryExpr); ok && (be.Op == token.NEQ || be.Op == token.EQL) {
+			if id, ok := be.X.(*ast.Ident); ok && id.Name == "err" {
+				facts.Set(ObjectOf(p.info, id), errChecked)
+			}
+		}
+	}
+}
+
+// exitStates solves the body and tallies err's fact across the
+// function's terminal blocks via Solution.Exits and Facts.Each.
+func exitStates(t *testing.T, src string) (checked, unchecked, perExitLen int) {
+	t.Helper()
+	body, info := checkFunc(t, src, "f")
+	prob := &errProblem{info: info}
+	sol := Solve[errState](BuildCFG(body), nil, prob)
+	for _, exit := range sol.Exits(prob) {
+		perExitLen = exit.Len()
+		exit.Each(func(obj types.Object, v errState) {
+			if obj.Name() != "err" {
+				t.Errorf("unexpected tracked object %s", obj.Name())
+			}
+			switch v {
+			case errChecked:
+				checked++
+			case errUnchecked:
+				unchecked++
+			}
+		})
+	}
+	return checked, unchecked, perExitLen
+}
+
+// TestExitsBranchJoin: the error fact propagates independently to each
+// terminal block — the two returns under the check see checked, while
+// the fall-through return on the unchecked path sees unchecked.
+func TestExitsBranchJoin(t *testing.T) {
+	checked, unchecked, n := exitStates(t, `package p
+func work() error { return nil }
+func f(c bool) error {
+	err := work()
+	if c {
+		if err != nil {
+			return err
+		}
+		return nil
+	}
+	return err
+}`)
+	if checked != 2 || unchecked != 1 {
+		t.Errorf("exit facts = %d checked, %d unchecked; want 2 checked (guarded returns), 1 unchecked (fall-through)", checked, unchecked)
+	}
+	if n != 1 {
+		t.Errorf("per-exit tracked objects = %d, want 1 (just err)", n)
+	}
+}
+
+// TestExitsLoopDecay: a check before a loop does not survive a
+// reassignment inside it. The loop-head join of (checked from entry,
+// unchecked from the back edge) must decay to unchecked, so the final
+// return observes unchecked even though a check dominates the loop.
+func TestExitsLoopDecay(t *testing.T) {
+	checked, unchecked, _ := exitStates(t, `package p
+func work() error { return nil }
+func f(n int) error {
+	err := work()
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		err = work()
+	}
+	return err
+}`)
+	if checked != 1 || unchecked != 1 {
+		t.Errorf("exit facts = %d checked, %d unchecked; want 1 checked (early return), 1 unchecked (post-loop return)", checked, unchecked)
+	}
+}

@@ -242,6 +242,9 @@ func classifyEdges(st *state, pass *framework.Pass, n *framework.FuncNode) []Vio
 			out = append(out, Violation{e.Pos, fmt.Sprintf(
 				"method value %s allocates a closure binding its receiver; call the method directly or hoist the bound value out of the hot path",
 				nameFor(pass, e.Callee))})
+		case framework.EdgeMethodExpr, framework.EdgeFuncRef:
+			// Unbound references allocate nothing; only their eventual
+			// call sites matter, and those appear as separate edges.
 		case framework.EdgeCall:
 			if st.graph.Node(e.Callee) != nil {
 				continue // resolved in-graph: handled by the walk

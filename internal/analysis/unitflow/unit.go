@@ -94,7 +94,7 @@ func ParseUnit(s string) (Unit, error) {
 		}
 		name, exp, err := parseTerm(part)
 		if err != nil {
-			return Unknown, fmt.Errorf("unit expression %q: %v", s, err)
+			return Unknown, fmt.Errorf("unit expression %q: %w", s, err)
 		}
 		if name == "1" {
 			continue

@@ -29,7 +29,10 @@ import (
 // schema change can never alias a stale store entry.
 const SchemaVersion = 1
 
-// Kind classifies an artifact by its role in the paper.
+// Kind classifies an artifact by its role in the paper. The set is
+// closed; switches over Kind must stay exhaustive.
+//
+//enum:closed
 type Kind string
 
 // The artifact kinds: paper figures, paper tables, in-text section
@@ -79,7 +82,10 @@ type Provenance struct {
 	Tech string `json:"tech"`
 }
 
-// ColKind is the cell type of a Column.
+// ColKind is the cell type of a Column. The set is closed; switches
+// over ColKind must stay exhaustive.
+//
+//enum:closed
 type ColKind string
 
 // The column cell types.
@@ -164,6 +170,7 @@ func (c *Column) Len() int {
 		return len(c.S)
 	case ColInt:
 		return len(c.I)
+	//enum:default ColFloat and the zero Column both store in F (a decoded kindless column reads as float)
 	default:
 		return len(c.F)
 	}
@@ -178,6 +185,7 @@ func (c *Column) Cell(i int) string {
 		return c.S[i]
 	case ColInt:
 		return formatInt(c.I[i])
+	//enum:default ColFloat and the zero Column both store in F (a decoded kindless column reads as float)
 	default:
 		return formatFloat(c.F[i])
 	}

@@ -24,10 +24,15 @@ func NewHasher() *Hasher {
 }
 
 func (h *Hasher) frame(label, value string) {
-	h.h.Write([]byte(label))
-	h.h.Write([]byte{0})
-	h.h.Write([]byte(value))
-	h.h.Write([]byte{0})
+	h.write([]byte(label))
+	h.write([]byte{0})
+	h.write([]byte(value))
+	h.write([]byte{0})
+}
+
+// write mixes raw bytes into the digest.
+func (h *Hasher) write(b []byte) {
+	h.h.Write(b) //lint:allow errflow hash.Hash.Write never returns an error by contract; TestHasherWriteNeverFails pins it
 }
 
 // String mixes a labeled string field.

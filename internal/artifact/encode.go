@@ -10,7 +10,11 @@ import (
 	"text/tabwriter"
 )
 
-// Format selects an artifact encoding.
+// Format selects an artifact encoding. The set is closed: every
+// switch over Format must handle all three encodings (or annotate its
+// default), so adding a fourth format surfaces every dispatch site.
+//
+//enum:closed
 type Format string
 
 // The supported output formats.
@@ -36,6 +40,7 @@ func (f Format) ContentType() string {
 		return "application/json"
 	case FormatCSV:
 		return "text/csv; charset=utf-8"
+	//enum:default FormatText is plain text, and so is the safest rendering of any foreign value
 	default:
 		return "text/plain; charset=utf-8"
 	}
@@ -48,6 +53,7 @@ func (f Format) Ext() string {
 		return "json"
 	case FormatCSV:
 		return "csv"
+	//enum:default FormatText stores as .txt; foreign values never reach the store (ParseFormat gates them)
 	default:
 		return "txt"
 	}
@@ -125,12 +131,15 @@ func genericText(w io.Writer, t *Table) error {
 // defined over exactly these bytes, so this function must stay
 // deterministic.
 func EncodeJSON(w io.Writer, a Artifact) error {
-	b, err := marshalTable(a.ArtifactTable())
+	t := a.ArtifactTable()
+	b, err := marshalTable(t)
 	if err != nil {
 		return err
 	}
-	_, err = w.Write(b)
-	return err
+	if _, err := w.Write(b); err != nil {
+		return errorf("encode json %s: %w", t.ID, err)
+	}
+	return nil
 }
 
 // marshalTable produces the canonical JSON bytes of a table
@@ -184,7 +193,7 @@ func EncodeCSV(w io.Writer, a Artifact) error {
 		cw.Flush()
 		if wroteRows {
 			if _, err := io.WriteString(w, "\n"); err != nil {
-				return err
+				return errorf("encode csv %s: %w", t.ID, err)
 			}
 		}
 		if err := cw.Write([]string{"metric", "unit", "value"}); err != nil {
@@ -202,7 +211,10 @@ func EncodeCSV(w io.Writer, a Artifact) error {
 		}
 	}
 	cw.Flush()
-	return cw.Error()
+	if err := cw.Error(); err != nil {
+		return errorf("encode csv %s: %w", t.ID, err)
+	}
+	return nil
 }
 
 // columnHeader renders a column label with its unit suffix.

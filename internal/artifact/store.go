@@ -1,6 +1,7 @@
 package artifact
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"io/fs"
@@ -29,6 +30,17 @@ type Meta struct {
 	// ArtifactDigest is the content hash of the stored table.
 	ArtifactDigest string `json:"artifact_digest"`
 }
+
+// Fault-injection seams for the commit path. Production code never
+// reassigns these; tests swap them to simulate commit-time failures
+// (full disk at create, rename across a dead mount) and then assert
+// that a failed Put leaves no orphan temp directory and is not
+// memoized as a committed entry.
+var (
+	osMkdirTemp = os.MkdirTemp
+	osRename    = os.Rename
+	osCreate    = os.Create
+)
 
 // Store is a content-addressed artifact cache on disk, keyed by
 // (experiment ID, params digest):
@@ -118,12 +130,11 @@ func (s *Store) Get(id, paramsDigest string) (*Table, *Meta, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	f, err := os.Open(filepath.Join(dir, "table.json"))
+	data, err := os.ReadFile(filepath.Join(dir, "table.json"))
 	if err != nil {
 		return nil, nil, errorf("store: %v", err)
 	}
-	defer f.Close()
-	t, err := DecodeJSON(f)
+	t, err := DecodeJSON(bytes.NewReader(data))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -186,15 +197,15 @@ func (s *Store) Put(a Artifact) (*Meta, error) {
 	if err := os.MkdirAll(filepath.Dir(dir), 0o755); err != nil {
 		return nil, errorf("store: %v", err)
 	}
-	tmp, err := os.MkdirTemp(filepath.Dir(dir), ".tmp-")
+	tmp, err := osMkdirTemp(filepath.Dir(dir), ".tmp-")
 	if err != nil {
 		return nil, errorf("store: %v", err)
 	}
-	defer os.RemoveAll(tmp)
+	defer os.RemoveAll(tmp) //lint:allow errflow best-effort cleanup; TestStorePutFaultInjection proves no orphan temp dir survives any failure
 	if err := s.writeEntry(tmp, a, t, m); err != nil {
 		return nil, err
 	}
-	if err := os.Rename(tmp, dir); err != nil {
+	if err := osRename(tmp, dir); err != nil {
 		// A concurrent writer can win the rename; both wrote identical
 		// content (the key is a content address), so their entry serves.
 		if m2, err2 := s.readMeta(dir); err2 == nil {
@@ -235,13 +246,14 @@ func (s *Store) writeEntry(dir string, a Artifact, t *Table, m *Meta) error {
 // writeFileWith creates path and streams content through fill,
 // reporting close errors (the last chance to see ENOSPC).
 func writeFileWith(path string, fill func(*os.File) error) error {
-	f, err := os.Create(path)
+	f, err := osCreate(path)
 	if err != nil {
 		return errorf("store: %v", err)
 	}
 	if err := fill(f); err != nil {
-		f.Close()
-		return err
+		// The fill failure is primary, but a close failure is still a
+		// failure of this write — surface both.
+		return errors.Join(err, f.Close())
 	}
 	if err := f.Close(); err != nil {
 		return errorf("store: %v", err)

@@ -3,6 +3,7 @@ package artifact
 import (
 	"bytes"
 	"errors"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"strings"
@@ -176,5 +177,88 @@ func TestStoreList(t *testing.T) {
 	}
 	if len(metas) != 2 {
 		t.Errorf("List counts uncommitted entries: %d", len(metas))
+	}
+}
+
+// orphanTmpDirs lists leftover .tmp-* directories anywhere under root.
+func orphanTmpDirs(t *testing.T, root string) []string {
+	t.Helper()
+	var orphans []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() && strings.HasPrefix(d.Name(), ".tmp-") {
+			orphans = append(orphans, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return orphans
+}
+
+// TestStorePutFaultInjection drives Put's commit path into every
+// injectable failure — temp-dir creation, file creation (full disk),
+// and the final rename — and asserts the two crash-consistency
+// invariants: a failed commit leaves no orphan .tmp-* directory, and
+// the failure is not memoized (the same Put succeeds once the fault
+// clears). It is the proof test behind store.go's errflow suppression
+// on `defer os.RemoveAll(tmp)`.
+func TestStorePutFaultInjection(t *testing.T) {
+	boom := errors.New("injected fault")
+	cases := []struct {
+		name    string
+		inject  func()
+		restore func()
+	}{
+		{
+			name:    "mkdirtemp",
+			inject:  func() { osMkdirTemp = func(string, string) (string, error) { return "", boom } },
+			restore: func() { osMkdirTemp = os.MkdirTemp },
+		},
+		{
+			name: "create",
+			inject: func() {
+				osCreate = func(string) (*os.File, error) { return nil, boom }
+			},
+			restore: func() { osCreate = os.Create },
+		},
+		{
+			name:    "rename",
+			inject:  func() { osRename = func(string, string) error { return boom } },
+			restore: func() { osRename = os.Rename },
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := newTestStore(t)
+			tb := sample()
+			tc.inject()
+			defer tc.restore()
+			if _, err := s.Put(tb); err == nil {
+				t.Fatal("Put succeeded under injected fault")
+			}
+			if orphans := orphanTmpDirs(t, s.Dir()); len(orphans) != 0 {
+				t.Errorf("failed Put left orphan temp dirs: %v", orphans)
+			}
+			// The failure must not be memoized as a committed entry.
+			if _, _, err := s.Get(tb.ID, tb.Prov.ParamsDigest); !errors.Is(err, ErrMiss) {
+				t.Errorf("Get after failed Put: err = %v, want ErrMiss", err)
+			}
+			// Once the fault clears, the identical Put commits cleanly.
+			tc.restore()
+			m, err := s.Put(sample())
+			if err != nil {
+				t.Fatalf("Put after fault cleared: %v", err)
+			}
+			if _, gm, err := s.Get(tb.ID, tb.Prov.ParamsDigest); err != nil || gm.ArtifactDigest != m.ArtifactDigest {
+				t.Errorf("Get after recovery = %+v, %v", gm, err)
+			}
+			if orphans := orphanTmpDirs(t, s.Dir()); len(orphans) != 0 {
+				t.Errorf("recovered Put left orphan temp dirs: %v", orphans)
+			}
+		})
 	}
 }

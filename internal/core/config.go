@@ -87,7 +87,11 @@ func (p Placement) String() string {
 }
 
 // Scheme is a (refresh, placement) combination — one of the paper's
-// evaluated techniques.
+// evaluated techniques. The named schemes below are a closed set:
+// switches over Scheme values must cover all four or annotate their
+// default, so a new named scheme surfaces every dispatch site.
+//
+//enum:closed
 type Scheme struct {
 	Refresh   RefreshPolicy
 	Placement Placement

@@ -95,9 +95,13 @@ func Build(id string, p *Params) (artifact.Artifact, error) {
 func Run(id string, p *Params, w io.Writer) error {
 	if id == "all" {
 		for _, sp := range Specs {
-			fmt.Fprintf(w, "===== %s =====\n", sp.ID)
+			if _, err := fmt.Fprintf(w, "===== %s =====\n", sp.ID); err != nil {
+				return fmt.Errorf("experiments: printing %s: %w", sp.ID, err)
+			}
 			printArtifact(w, sp.Run(p))
-			fmt.Fprintln(w)
+			if _, err := fmt.Fprintln(w); err != nil {
+				return fmt.Errorf("experiments: printing %s: %w", sp.ID, err)
+			}
 		}
 		return nil
 	}

@@ -298,7 +298,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	_, _ = w.Write(s.listing)
+	writeBody(w, s.listing)
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
@@ -371,7 +371,7 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	w.Header().Set("Content-Type", format.ContentType())
-	_, _ = w.Write(data)
+	writeBody(w, data)
 }
 
 // dispatch admits one compute into the worker shard and waits for its
@@ -500,9 +500,19 @@ func scanETag(s string) (tag, rest string, ok bool) {
 	return "", "", false
 }
 
-// writeErr emits a JSON error body.
+// writeErr emits a JSON error body: the package's single
+// error-to-status mapping point — every failure response goes through
+// here so each failure class maps to exactly one status.
+//
+//errflow:status-mapper
 func writeErr(w http.ResponseWriter, code int, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg}) //lint:allow errflow a client gone mid-error-body has no one left to tell; TestWriteErrClientGone pins it
+}
+
+// writeBody writes a fully-prepared response body after the headers
+// are out; at that point a write failure means the client hung up.
+func writeBody(w http.ResponseWriter, data []byte) {
+	_, _ = w.Write(data) //lint:allow errflow a client gone mid-body has no one left to tell; TestWriteBodyClientGone pins it
 }

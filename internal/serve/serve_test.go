@@ -584,3 +584,55 @@ func TestCloseDrainsQueuedJobs(t *testing.T) {
 		t.Errorf("status after close = %d, want 503", rec2.Code)
 	}
 }
+
+// brokenWriter is a ResponseWriter whose client hung up: every Write
+// fails. Headers and status still record normally.
+type brokenWriter struct {
+	header http.Header
+	code   int
+	writes int
+}
+
+func (b *brokenWriter) Header() http.Header {
+	if b.header == nil {
+		b.header = make(http.Header)
+	}
+	return b.header
+}
+
+func (b *brokenWriter) WriteHeader(code int) { b.code = code }
+
+func (b *brokenWriter) Write([]byte) (int, error) {
+	b.writes++
+	return 0, fmt.Errorf("write tcp: broken pipe")
+}
+
+// TestWriteErrClientGone is the proof test behind writeErr's errflow
+// suppression: when the client disconnects before the error body goes
+// out, writeErr must not panic and must still have committed the
+// status code and content type — the parts the server log and any
+// middleware observe.
+func TestWriteErrClientGone(t *testing.T) {
+	w := &brokenWriter{}
+	writeErr(w, http.StatusNotFound, "no such experiment")
+	if w.code != http.StatusNotFound {
+		t.Errorf("status = %d, want 404", w.code)
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	if w.writes == 0 {
+		t.Error("writeErr never attempted the body write")
+	}
+}
+
+// TestWriteBodyClientGone is the proof test behind writeBody's errflow
+// suppression: a failed body write to a gone client must not panic —
+// there is no one left to report the failure to.
+func TestWriteBodyClientGone(t *testing.T) {
+	w := &brokenWriter{}
+	writeBody(w, []byte("payload"))
+	if w.writes != 1 {
+		t.Errorf("writeBody attempted %d writes, want 1", w.writes)
+	}
+}

@@ -191,7 +191,10 @@ type RunResult struct {
 	Cache Counters
 }
 
-// NewSystem builds a system per the options.
+// NewSystem builds a system per the options. Construction errors
+// from the core layers are returned verbatim by documented contract.
+//
+//errflow:passthrough
 func NewSystem(o SystemOptions) (*System, error) {
 	prof, ok := workload.ByName(o.Benchmark)
 	if !ok {
@@ -257,12 +260,18 @@ func ExperimentSpecs() []ExperimentSpec {
 }
 
 // RunExperiment regenerates one paper artifact (or all of them for
-// "all"), printing the paper-shaped output to w.
+// "all"), printing the paper-shaped output to w. Experiment errors
+// are returned verbatim by documented contract.
+//
+//errflow:passthrough
 func RunExperiment(id string, p *ExperimentParams, w io.Writer) error {
 	return experiments.Run(id, p, w)
 }
 
 // BuildExperiment runs one experiment and returns its typed artifact.
+// Experiment errors are returned verbatim by documented contract.
+//
+//errflow:passthrough
 func BuildExperiment(id string, p *ExperimentParams) (Artifact, error) {
 	return experiments.Build(id, p)
 }
@@ -271,15 +280,24 @@ func BuildExperiment(id string, p *ExperimentParams) (Artifact, error) {
 // parameters — the store key half that identifies a configuration.
 func ExperimentDigest(p *ExperimentParams) string { return experiments.Digest(p) }
 
-// ParseArtifactFormat validates a format name (text, json, csv).
+// ParseArtifactFormat validates a format name (text, json, csv). The
+// artifact package's error is returned verbatim by documented contract.
+//
+//errflow:passthrough
 func ParseArtifactFormat(s string) (ArtifactFormat, error) { return artifact.ParseFormat(s) }
 
-// EncodeArtifact writes a in the given format.
+// EncodeArtifact writes a in the given format. Encoder errors are
+// returned verbatim by documented contract.
+//
+//errflow:passthrough
 func EncodeArtifact(w io.Writer, f ArtifactFormat, a Artifact) error {
 	return artifact.Encode(w, f, a)
 }
 
 // NewArtifactStore opens (creating if needed) a result store at dir.
+// Store errors are returned verbatim by documented contract.
+//
+//errflow:passthrough
 func NewArtifactStore(dir string) (*ArtifactStore, error) { return artifact.NewStore(dir) }
 
 // ErrStoreMiss reports an artifact-store lookup miss (use errors.Is).
