@@ -1,0 +1,123 @@
+package main
+
+// The lint self-benchmark behind `tdcache-lint -bench FILE`: three
+// engine runs over the same patterns — cold with a fresh cache, warm
+// over that now-populated cache, and a sequential (-j1) cold run with
+// its own fresh cache — cross-checked for byte-identical findings and
+// summarized to JSON. The checked-in BENCH_lint.json is one such run,
+// sitting beside BENCH_serve.json as the analysis layer's performance
+// record; CI regenerates it and uploads it as an artifact.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"tdcache/internal/analysis/driver"
+)
+
+// benchRun summarizes one engine run for the benchmark document.
+type benchRun struct {
+	Jobs           int     `json:"jobs"`
+	CacheHits      int     `json:"cache_hits"`
+	CacheMisses    int     `json:"cache_misses"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	LoadSeconds    float64 `json:"load_seconds"`
+	AnalyzeSeconds float64 `json:"analyze_seconds"`
+	Parallelism    float64 `json:"parallelism"`
+	Findings       int     `json:"findings"`
+}
+
+// benchDoc is the BENCH_lint.json schema.
+type benchDoc struct {
+	Name       string `json:"name"`
+	GoVersion  string `json:"go_version"`
+	GoMaxProcs int    `json:"go_max_procs"`
+	Packages   int    `json:"packages"`
+	// Cold runs with an empty cache, Warm replays Cold's cache,
+	// Sequential is -j1 with its own empty cache.
+	Cold       benchRun `json:"cold"`
+	Warm       benchRun `json:"warm"`
+	Sequential benchRun `json:"sequential"`
+	// SpeedupWarm is Cold.WallSeconds / Warm.WallSeconds.
+	SpeedupWarm float64 `json:"speedup_warm"`
+	// ByteIdentical asserts all three runs' findings JSON matched.
+	ByteIdentical bool `json:"byte_identical"`
+}
+
+func summarize(res *driver.RunResult) benchRun {
+	return benchRun{
+		Jobs:           res.Stats.Jobs,
+		CacheHits:      res.Stats.CacheHits,
+		CacheMisses:    res.Stats.CacheMisses,
+		WallSeconds:    res.Stats.WallSeconds,
+		LoadSeconds:    res.Stats.LoadSeconds,
+		AnalyzeSeconds: res.Stats.AnalyzeSeconds,
+		Parallelism:    res.Stats.Parallelism,
+		Findings:       len(res.Diags),
+	}
+}
+
+// findingsBytes renders a run's findings exactly as -json would.
+func findingsBytes(res *driver.RunResult) ([]byte, error) {
+	findings := res.Diags
+	if findings == nil {
+		findings = []finding{}
+	}
+	return json.Marshal(findings)
+}
+
+// runBench executes the three benchmark runs and writes the document.
+func runBench(root string, patterns []string, out string) error {
+	coldDir, err := os.MkdirTemp("", "tdcache-lint-bench-cold-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(coldDir) //lint:allow errflow best-effort temp cleanup; the dir is under os.TempDir and TestBenchDocument covers the bench path end to end
+	seqDir, err := os.MkdirTemp("", "tdcache-lint-bench-seq-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(seqDir) //lint:allow errflow best-effort temp cleanup; the dir is under os.TempDir and TestBenchDocument covers the bench path end to end
+
+	cold, err := lint(root, patterns, coldDir, 0)
+	if err != nil {
+		return fmt.Errorf("bench cold run: %w", err)
+	}
+	warm, err := lint(root, patterns, coldDir, 0)
+	if err != nil {
+		return fmt.Errorf("bench warm run: %w", err)
+	}
+	seq, err := lint(root, patterns, seqDir, 1)
+	if err != nil {
+		return fmt.Errorf("bench sequential run: %w", err)
+	}
+
+	coldJSON, err := findingsBytes(cold)
+	if err != nil {
+		return err
+	}
+	warmJSON, err := findingsBytes(warm)
+	if err != nil {
+		return err
+	}
+	seqJSON, err := findingsBytes(seq)
+	if err != nil {
+		return err
+	}
+	doc := benchDoc{
+		Name:          "lint-bench",
+		GoVersion:     runtime.Version(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		Packages:      cold.Stats.Packages,
+		Cold:          summarize(cold),
+		Warm:          summarize(warm),
+		Sequential:    summarize(seq),
+		ByteIdentical: string(coldJSON) == string(warmJSON) && string(coldJSON) == string(seqJSON),
+	}
+	if doc.Warm.WallSeconds > 0 {
+		doc.SpeedupWarm = doc.Cold.WallSeconds / doc.Warm.WallSeconds
+	}
+	return writeJSONFile(out, doc)
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// TestBenchDocument runs the full -bench path over a minimal module
+// and validates the document: schema fields, a fully warm second run,
+// and the cross-run byte-identity assertion.
+func TestBenchDocument(t *testing.T) {
+	root := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module benchmod\n\ngo 1.24\n",
+		"p/p.go": "package p\n\n// Add sums two ints.\nfunc Add(a, b int) int { return a + b }\n",
+	}
+	for rel, content := range files {
+		p := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	out := filepath.Join(t.TempDir(), "BENCH_lint.json")
+	if err := runBench(root, []string{"./..."}, out); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc benchDoc
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("bench document does not parse: %v", err)
+	}
+
+	if doc.Name != "lint-bench" || doc.GoVersion != runtime.Version() {
+		t.Errorf("doc header = %s/%s, want lint-bench/%s", doc.Name, doc.GoVersion, runtime.Version())
+	}
+	if doc.Packages != 1 {
+		t.Errorf("doc.Packages = %d, want 1", doc.Packages)
+	}
+	if doc.Cold.CacheMisses != 1 || doc.Cold.CacheHits != 0 {
+		t.Errorf("cold run = %d hits / %d misses, want 0/1", doc.Cold.CacheHits, doc.Cold.CacheMisses)
+	}
+	if doc.Warm.CacheHits != 1 || doc.Warm.CacheMisses != 0 {
+		t.Errorf("warm run = %d hits / %d misses, want 1/0", doc.Warm.CacheHits, doc.Warm.CacheMisses)
+	}
+	if doc.Sequential.Jobs != 1 {
+		t.Errorf("sequential run used %d jobs, want 1", doc.Sequential.Jobs)
+	}
+	if !doc.ByteIdentical {
+		t.Error("cold, warm, and sequential findings were not byte-identical")
+	}
+	if doc.SpeedupWarm <= 0 {
+		t.Errorf("speedup_warm = %v, want > 0", doc.SpeedupWarm)
+	}
+	if doc.Cold.Findings != doc.Warm.Findings || doc.Cold.Findings != doc.Sequential.Findings {
+		t.Errorf("finding counts diverge: cold %d, warm %d, seq %d",
+			doc.Cold.Findings, doc.Warm.Findings, doc.Sequential.Findings)
+	}
+}

@@ -131,20 +131,15 @@ func roster() string {
 	return b.String()
 }
 
-// finding is the machine-readable form of one diagnostic: file is
-// module-root-relative so baselines are stable across checkouts.
-type finding struct {
-	Rule    string `json:"rule"`
-	File    string `json:"file"`
-	Line    int    `json:"line"`
-	Col     int    `json:"col"`
-	Message string `json:"message"`
-}
+// finding is the machine-readable form of one diagnostic — the
+// engine's rendered wire type, whose file is module-root-relative so
+// baselines are stable across checkouts.
+type finding = driver.Diag
 
-// key identifies a finding for baseline matching. Line and column are
-// deliberately excluded so unrelated edits that shift a suppressed
-// legacy finding do not break the baseline.
-func (f finding) key() string { return f.Rule + "\x00" + f.File + "\x00" + f.Message }
+// findingKey identifies a finding for baseline matching. Line and
+// column are deliberately excluded so unrelated edits that shift a
+// suppressed legacy finding do not break the baseline.
+func findingKey(f finding) string { return f.Rule + "\x00" + f.File + "\x00" + f.Message }
 
 // standalone loads packages from directory patterns and reports every
 // surviving finding, exiting 1 if any is not covered by the baseline.
@@ -152,8 +147,12 @@ func standalone(args []string) {
 	fs := flag.NewFlagSet("tdcache-lint", flag.ExitOnError)
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout")
 	baselineFile := fs.String("baseline", "", "JSON findings file; only findings absent from it fail the run")
+	cacheDir := fs.String("cache", "", "content-addressed result cache directory (empty disables caching)")
+	jobs := fs.Int("j", 0, "parallel analysis workers (0 = GOMAXPROCS, 1 = sequential)")
+	statsFile := fs.String("stats", "", "write per-package/per-analyzer run statistics JSON to this file")
+	benchFile := fs.String("bench", "", "self-benchmark (cold vs warm vs -j1) and write JSON to this file")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [-json] [-baseline file] ./... (run from inside the module)\n", fs.Name())
+		fmt.Fprintf(os.Stderr, "usage: %s [-json] [-baseline file] [-cache dir] [-j n] [-stats file] [-bench file] ./... (run from inside the module)\n", fs.Name())
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -178,9 +177,28 @@ func standalone(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	findings, err := collect(cwd, patterns)
+	root, err := driver.FindModuleRoot(cwd)
 	if err != nil {
 		fatal(err)
+	}
+	if *benchFile != "" {
+		if err := runBench(root, patterns, *benchFile); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	res, err := lint(root, patterns, *cacheDir, *jobs)
+	if err != nil {
+		fatal(err)
+	}
+	if *statsFile != "" {
+		if err := writeJSONFile(*statsFile, res.Stats); err != nil {
+			fatal(err)
+		}
+	}
+	findings := res.Diags
+	if findings == nil {
+		findings = []finding{}
 	}
 
 	if *jsonOut {
@@ -214,9 +232,23 @@ func loadBaseline(path string) (map[string]int, error) {
 	}
 	baseline := make(map[string]int)
 	for _, f := range old {
-		baseline[f.key()]++
+		baseline[findingKey(f)]++
 	}
 	return baseline, nil
+}
+
+// lint runs the engine over the patterns with the standalone lane's
+// configuration: the full roster, suppression audit on.
+func lint(root string, patterns []string, cacheDir string, jobs int) (*driver.RunResult, error) {
+	// The standalone lane sees full source for every package, so live
+	// suppressions are provably live here; enable the allowcheck audit.
+	return driver.Lint(root, driver.Options{
+		Patterns:  patterns,
+		Analyzers: analyzers,
+		Jobs:      jobs,
+		CacheDir:  cacheDir,
+		Audit:     true,
+	})
 }
 
 // collect runs the full suite over the patterns (resolved against the
@@ -228,43 +260,14 @@ func collect(dir string, patterns []string) ([]finding, error) {
 	if err != nil {
 		return nil, err
 	}
-	loader, err := driver.NewModuleLoader(root)
+	res, err := lint(root, patterns, "", 0)
 	if err != nil {
 		return nil, err
 	}
-	paths, err := loader.Expand(patterns)
-	if err != nil {
-		return nil, err
+	if res.Diags == nil {
+		return []finding{}, nil
 	}
-	// The standalone lane sees full source for every package, so live
-	// suppressions are provably live here; enable the allowcheck audit.
-	ctx := loader.Context()
-	ctx.AuditSuppressions = true
-	findings := []finding{}
-	for _, path := range paths {
-		if skipPath(path) {
-			continue
-		}
-		pkg, err := loader.Load(path)
-		if err != nil {
-			return nil, err
-		}
-		diags, err := driver.Run(analyzers, pkg, ctx)
-		if err != nil {
-			return nil, err
-		}
-		for _, d := range diags {
-			pos := loader.Fset.Position(d.Pos)
-			file := pos.Filename
-			if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
-				file = filepath.ToSlash(rel)
-			}
-			findings = append(findings, finding{
-				Rule: d.Rule, File: file, Line: pos.Line, Col: pos.Column, Message: d.Message,
-			})
-		}
-	}
-	return findings, nil
+	return res.Diags, nil
 }
 
 // filterNew returns the findings not absorbed by the baseline multiset
@@ -272,8 +275,8 @@ func collect(dir string, patterns []string) ([]finding, error) {
 func filterNew(findings []finding, baseline map[string]int) []finding {
 	fresh := []finding{}
 	for _, f := range findings {
-		if n := baseline[f.key()]; n > 0 {
-			baseline[f.key()] = n - 1
+		if n := baseline[findingKey(f)]; n > 0 {
+			baseline[findingKey(f)] = n - 1
 			continue
 		}
 		fresh = append(fresh, f)
@@ -281,11 +284,13 @@ func filterNew(findings []finding, baseline map[string]int) []finding {
 	return fresh
 }
 
-// skipPath excludes the analyzers' own testdata-shaped fixtures; the
-// loader already skips testdata/ directories, so this only guards
-// against explicit patterns.
-func skipPath(path string) bool {
-	return strings.Contains(path, "/testdata/")
+// writeJSONFile writes v as indented JSON to path.
+func writeJSONFile(path string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 func fatal(err error) {

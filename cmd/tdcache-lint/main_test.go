@@ -99,6 +99,9 @@ func TestRosterListsAllAnalyzers(t *testing.T) {
 		if a.Doc == "" {
 			t.Errorf("analyzer %s has no doc", a.Name)
 		}
+		if a.Version == "" {
+			t.Errorf("analyzer %s has no Version; the cache key needs one", a.Name)
+		}
 	}
 
 	lines := strings.Split(strings.TrimRight(roster(), "\n"), "\n")

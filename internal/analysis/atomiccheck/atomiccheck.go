@@ -40,7 +40,8 @@ import (
 
 // Analyzer is the atomiccheck rule.
 var Analyzer = &framework.Analyzer{
-	Name: "atomiccheck",
+	Name:    "atomiccheck",
+	Version: "1",
 	Doc: "fields accessed via sync/atomic (by address or typed atomics) must never be accessed plainly, " +
 		"and //guard: mutex-guarded fields must not also be atomic (mixed discipline)",
 	Run: run,

@@ -53,7 +53,8 @@ import (
 
 // Analyzer is the closecheck rule.
 var Analyzer = &framework.Analyzer{
-	Name: "closecheck",
+	Name:    "closecheck",
+	Version: "1",
 	Doc: "values with a release obligation (files, response bodies, listeners, temp dirs, module Closers) " +
 		"must be released on every path, after their companion error is checked, and exactly once",
 	Run: run,
@@ -149,7 +150,7 @@ func (st *state) scanPackage(ps *framework.PackageSyntax) {
 	}
 }
 
-/// summarize classifies each parameter of one declaration: escapes
+// summarize classifies each parameter of one declaration: escapes
 // dominates closes dominates none.
 func summarize(info *types.Info, fd *ast.FuncDecl) []paramEffect {
 	var params []types.Object

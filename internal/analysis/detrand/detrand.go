@@ -27,7 +27,8 @@ import (
 
 // Analyzer is the detrand rule.
 var Analyzer = &framework.Analyzer{
-	Name: "detrand",
+	Name:    "detrand",
+	Version: "1",
 	Doc: "forbid ambient entropy (math/rand, crypto/rand, time.Now) in simulator packages; " +
 		"all randomness must come from the seeded tdcache/internal/stats.RNG",
 	Run: run,

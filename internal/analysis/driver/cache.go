@@ -1,0 +1,152 @@
+package driver
+
+// Content-addressed result cache. A package's key is a sha256 (through
+// artifact.Hasher's aliasing-proof framing) over everything that can
+// change its lint result:
+//
+//   - the wire schema version and Go toolchain version;
+//   - the analyzer roster with per-analyzer version strings, and
+//     whether the suppression audit ran (audit findings are cached
+//     diagnostics too);
+//   - the package's import path and the names and exact bytes of its
+//     non-test source files — which covers `//lint:allow` suppression
+//     directives, since those live in the bytes;
+//   - the keys of its module-internal dependencies, so invalidation is
+//     transitive: editing a leaf re-keys exactly its dependents, and
+//     bumping one analyzer's Version re-keys the world.
+//
+// The value is the package's rendered diagnostics plus its exported
+// FactStore facts, committed with the temp-dir+rename protocol of
+// internal/artifact's store: entry.json is only ever observed
+// complete, a crashed writer leaves nothing visible, and a concurrent
+// writer losing the rename reads the winner's identical entry.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"runtime"
+
+	"tdcache/internal/analysis/framework"
+	"tdcache/internal/artifact"
+)
+
+// cacheSchema versions the entry wire format; a bump invalidates every
+// existing entry (it participates in the key).
+const cacheSchema = 1
+
+// Diag is one rendered diagnostic: the position is resolved to a
+// module-root-relative file path so it means the same thing in the
+// process that replays it as in the one that produced it. It is also
+// the findings wire format of the standalone lane's -json output.
+type Diag struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+// cacheEntry is the committed value for one package key.
+type cacheEntry struct {
+	Schema  int    `json:"schema"`
+	Key     string `json:"key"`
+	Package string `json:"package"`
+	Diags   []Diag `json:"diags"`
+	// Facts is the package's exported fact set; FactsComplete reports
+	// whether it captures the live store exactly (see
+	// framework.FactStore.Export). Incomplete facts are never
+	// imported — the loaded syntax falls back to live extraction.
+	Facts         []framework.EncodedFact `json:"facts"`
+	FactsComplete bool                    `json:"facts_complete"`
+}
+
+// packageKey derives the cache key for one package from the roster,
+// the audit flag, the package's source bytes, and its dependencies'
+// keys (sorted by path; the caller owns the ordering invariant).
+func packageKey(analyzers []*framework.Analyzer, audit bool, path, dir string, depKeys [][2]string) (string, error) {
+	h := artifact.NewHasher()
+	h.Int("schema", cacheSchema)
+	h.String("go", runtime.Version())
+	h.String("audit", fmt.Sprintf("%t", audit))
+	roster := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		roster[i] = a.Name + "@" + a.Version
+	}
+	h.Strings("roster", roster)
+	h.String("package", path)
+	names, err := sourceFiles(dir)
+	if err != nil {
+		return "", fmt.Errorf("driver: keying %s: %w", path, err)
+	}
+	h.Strings("files", names)
+	for _, name := range names {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return "", fmt.Errorf("driver: keying %s: %w", path, err)
+		}
+		h.String("file:"+name, string(b))
+	}
+	for _, dk := range depKeys {
+		h.String("dep:"+dk[0], dk[1])
+	}
+	return h.Sum(), nil
+}
+
+// cacheEntryDir maps a key to its directory, fanned out over the first
+// key byte so one directory never holds the whole module.
+func cacheEntryDir(cacheDir, key string) string {
+	return filepath.Join(cacheDir, key[:2], key)
+}
+
+// loadEntry reads the committed entry for key, or nil on a miss. A
+// corrupt or mis-keyed entry is a miss, not an error: the cache is a
+// performance layer, and re-analyzing is always correct.
+func loadEntry(cacheDir, key string) *cacheEntry {
+	b, err := os.ReadFile(filepath.Join(cacheEntryDir(cacheDir, key), "entry.json"))
+	if err != nil {
+		return nil
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(b, &e); err != nil || e.Schema != cacheSchema || e.Key != key {
+		return nil
+	}
+	return &e
+}
+
+// commitEntry publishes e under its key: write into a temp dir beside
+// the final location, then rename. Losing a concurrent rename race is
+// success — the winner committed identical content under the same
+// content address.
+func commitEntry(cacheDir string, e *cacheEntry) error {
+	dir := cacheEntryDir(cacheDir, e.Key)
+	parent := filepath.Dir(dir)
+	if err := os.MkdirAll(parent, 0o755); err != nil {
+		return fmt.Errorf("driver: cache: %w", err)
+	}
+	tmp, err := os.MkdirTemp(parent, ".tmp-")
+	if err != nil {
+		return fmt.Errorf("driver: cache: %w", err)
+	}
+	defer os.RemoveAll(tmp) //lint:allow errflow best-effort cleanup of an already-renamed or abandoned temp dir; TestCacheCommitAndReload proves a failed commit is a plain miss
+	b, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return fmt.Errorf("driver: cache: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(tmp, "entry.json"), append(b, '\n'), 0o644); err != nil {
+		return fmt.Errorf("driver: cache: %w", err)
+	}
+	if err := os.Rename(tmp, dir); err != nil {
+		if _, statErr := os.Stat(filepath.Join(dir, "entry.json")); statErr == nil {
+			return nil
+		}
+		if errors.Is(err, fs.ErrExist) {
+			return nil
+		}
+		return fmt.Errorf("driver: cache: %w", err)
+	}
+	return nil
+}

@@ -8,6 +8,24 @@
 // standard-library imports are type-checked from GOROOT source via the
 // "source" compiler importer. Both paths are hermetic: no network, no
 // GOPATH, no build cache.
+//
+// On top of the loader sits the incremental parallel engine (Lint in
+// engine.go): it derives the package import DAG (dag.go), schedules
+// type-checking and analysis of independent packages concurrently on
+// the deterministic slotted pool from internal/sweep, and replays
+// prior results from a content-addressed on-disk cache (cache.go) so a
+// warm run is O(changed packages) instead of O(module).
+//
+// The Loader itself is safe for concurrent Load calls: package results
+// are singleflight-memoized per import path, the position table is the
+// (internally synchronized) shared token.FileSet, and the GOROOT
+// source importer is serialized behind its own mutex. One shared
+// FileSet — rather than one per package — is deliberate: analyzers
+// compare raw token.Pos values across packages (DeclaredWithin,
+// fact anchors), which is only sound when every file lives in a single
+// position space. Rendered positions (file:line:col) are independent
+// of FileSet insertion order, so parallel runs print byte-identical
+// diagnostics anyway.
 package driver
 
 import (
@@ -21,6 +39,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 
 	"tdcache/internal/analysis/framework"
 )
@@ -47,8 +66,10 @@ type Package struct {
 //     the layout analysistest uses for testdata packages.
 //
 // Standard-library paths resolve through the source importer in both
-// modes. The same Loader must be reused across LoadDir calls so
-// mutually-importing packages share one type universe.
+// modes. The same Loader must be reused across Load calls so
+// mutually-importing packages share one type universe. Load is safe
+// for concurrent use: each path is checked exactly once (singleflight)
+// and other callers block until the first finishes.
 type Loader struct {
 	Fset *token.FileSet
 
@@ -56,9 +77,25 @@ type Loader struct {
 	ModulePath string
 	SrcRoot    string
 
-	pkgs map[string]*Package
-	std  types.ImporterFrom
-	ctx  *Context
+	mu sync.Mutex
+	//guard:mu
+	entries map[string]*pkgEntry
+	//guard:mu
+	ctx *Context
+
+	// stdMu serializes the GOROOT source importer, which keeps its own
+	// unsynchronized package cache.
+	stdMu sync.Mutex
+	//guard:stdMu
+	std types.ImporterFrom
+}
+
+// pkgEntry is the singleflight slot for one import path: the first
+// loader goroutine owns it and closes done when pkg/err are final.
+type pkgEntry struct {
+	done chan struct{}
+	pkg  *Package
+	err  error
 }
 
 // NewModuleLoader returns a loader for the module rooted at dir (the
@@ -76,7 +113,9 @@ func NewTreeLoader(srcRoot string) *Loader {
 	return &Loader{Fset: token.NewFileSet(), SrcRoot: srcRoot}
 }
 
-// modulePath extracts the module path from a go.mod file.
+// modulePath extracts the module path from a go.mod file. The module
+// keyword must be followed by whitespace — a line like "modulex foo"
+// declares nothing.
 func modulePath(gomod string) (string, error) {
 	data, err := os.ReadFile(gomod)
 	if err != nil {
@@ -84,9 +123,15 @@ func modulePath(gomod string) (string, error) {
 	}
 	for _, line := range strings.Split(string(data), "\n") {
 		line = strings.TrimSpace(line)
-		if rest, ok := strings.CutPrefix(line, "module"); ok {
-			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		rest, ok := strings.CutPrefix(line, "module")
+		if !ok || rest == "" || (rest[0] != ' ' && rest[0] != '\t') {
+			continue
 		}
+		path := strings.Trim(strings.TrimSpace(rest), `"`)
+		if path == "" {
+			continue
+		}
+		return path, nil
 	}
 	return "", fmt.Errorf("driver: no module line in %s", gomod)
 }
@@ -131,36 +176,75 @@ func (l *Loader) dirFor(path string) string {
 // Load returns the type-checked package for an import path inside the
 // loader's tree.
 func (l *Loader) Load(path string) (*Package, error) {
-	if p, ok := l.pkgs[path]; ok {
-		if p == nil {
-			return nil, fmt.Errorf("driver: import cycle through %s", path)
-		}
-		return p, nil
-	}
-	dir := l.dirFor(path)
-	if dir == "" {
-		return nil, fmt.Errorf("driver: %s is not inside the loaded tree", path)
-	}
-	if l.pkgs == nil {
-		l.pkgs = make(map[string]*Package)
-	}
-	l.pkgs[path] = nil // cycle marker
-	pkg, err := l.check(path, dir)
-	if err != nil {
-		delete(l.pkgs, path)
-		return nil, err
-	}
-	l.pkgs[path] = pkg
-	return pkg, nil
+	return l.load(path, nil)
 }
 
-// check parses and type-checks the package in dir.
-func (l *Loader) check(path, dir string) (*Package, error) {
+// Loaded returns the already-loaded package for path without loading
+// anything, or nil. It does not block on loads in flight.
+func (l *Loader) Loaded(path string) *Package {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e := l.entries[path]
+	if e == nil {
+		return nil
+	}
+	select {
+	case <-e.done:
+		return e.pkg
+	default:
+		return nil
+	}
+}
+
+// load is Load with the in-progress import stack threaded through for
+// cycle detection. The stack is per-recursion (one type-check descends
+// through its imports on a single goroutine), so a cycle always shows
+// up as a repeated path within one stack; cross-goroutine waits only
+// occur on acyclic entries and therefore terminate.
+func (l *Loader) load(path string, stack []string) (*Package, error) {
+	for i, p := range stack {
+		if p == path {
+			return nil, fmt.Errorf("driver: import cycle: %s -> %s",
+				strings.Join(stack[i:], " -> "), path)
+		}
+	}
+	l.mu.Lock()
+	if e, ok := l.entries[path]; ok {
+		l.mu.Unlock()
+		<-e.done
+		return e.pkg, e.err
+	}
+	e := &pkgEntry{done: make(chan struct{})}
+	if l.entries == nil {
+		l.entries = make(map[string]*pkgEntry)
+	}
+	l.entries[path] = e
+	l.mu.Unlock()
+
+	dir := l.dirFor(path)
+	if dir == "" {
+		e.err = fmt.Errorf("driver: %s is not inside the loaded tree", path)
+	} else {
+		e.pkg, e.err = l.check(path, dir, append(stack, path))
+	}
+	if e.err != nil {
+		// Un-memoize failures so a later load (after the tree is fixed,
+		// or from a non-cyclic chain) retries instead of replaying the
+		// stale error.
+		l.mu.Lock()
+		delete(l.entries, path)
+		l.mu.Unlock()
+	}
+	close(e.done)
+	return e.pkg, e.err
+}
+
+// sourceFiles lists the non-test Go files of dir in sorted order.
+func sourceFiles(dir string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
-	var files []*ast.File
 	var names []string
 	for _, e := range entries {
 		name := e.Name()
@@ -171,6 +255,16 @@ func (l *Loader) check(path, dir string) (*Package, error) {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	return names, nil
+}
+
+// check parses and type-checks the package in dir.
+func (l *Loader) check(path, dir string, stack []string) (*Package, error) {
+	names, err := sourceFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
 	for _, name := range names {
 		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if err != nil {
@@ -189,7 +283,7 @@ func (l *Loader) check(path, dir string) (*Package, error) {
 		Implicits:  make(map[ast.Node]types.Object),
 		Scopes:     make(map[ast.Node]*types.Scope),
 	}
-	conf := types.Config{Importer: (*loaderImporter)(l)}
+	conf := types.Config{Importer: &loaderImporter{l: l, stack: stack}}
 	tpkg, err := conf.Check(path, l.Fset, files, info)
 	if err != nil {
 		return nil, fmt.Errorf("driver: type-checking %s: %w", path, err)
@@ -197,22 +291,35 @@ func (l *Loader) check(path, dir string) (*Package, error) {
 	return &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}, nil
 }
 
-// loaderImporter adapts a Loader to types.Importer, falling back to
-// the GOROOT source importer for paths outside the tree.
-type loaderImporter Loader
+// loaderImporter adapts a Loader to types.Importer for one check,
+// carrying the in-progress import stack so cycles are reported as
+// errors instead of deadlocking the singleflight table. Paths outside
+// the tree fall back to the GOROOT source importer.
+type loaderImporter struct {
+	l     *Loader
+	stack []string
+}
 
 func (li *loaderImporter) Import(path string) (*types.Package, error) {
-	l := (*Loader)(li)
 	if path == "unsafe" {
 		return types.Unsafe, nil
 	}
-	if l.dirFor(path) != "" {
-		p, err := l.Load(path)
+	if li.l.dirFor(path) != "" {
+		p, err := li.l.load(path, li.stack)
 		if err != nil {
 			return nil, err
 		}
 		return p.Types, nil
 	}
+	return li.l.importStd(path)
+}
+
+// importStd resolves a standard-library import through the shared
+// GOROOT source importer, serialized because the importer keeps an
+// unsynchronized internal package cache.
+func (l *Loader) importStd(path string) (*types.Package, error) {
+	l.stdMu.Lock()
+	defer l.stdMu.Unlock()
 	if l.std == nil {
 		l.std = importer.ForCompiler(l.Fset, "source", nil).(types.ImporterFrom)
 	}
@@ -226,7 +333,9 @@ func (li *loaderImporter) Import(path string) (*types.Package, error) {
 // Expand resolves command-line patterns ("./...", "./internal/core",
 // "internal/...") into import paths within the module, skipping
 // testdata, vendor, and hidden directories. Only module mode supports
-// patterns.
+// patterns. The skip applies below the walk root only: a pattern that
+// names a skipped directory explicitly ("./testdata/...") still
+// expands, matching cmd/go's behavior.
 func (l *Loader) Expand(patterns []string) ([]string, error) {
 	if l.ModuleRoot == "" {
 		return nil, fmt.Errorf("driver: patterns need a module loader")
@@ -328,6 +437,31 @@ type Context struct {
 	// live directive could look stale. analysistest leaves it off so
 	// single-analyzer fixture runs are not judged by suite-wide rules.
 	AuditSuppressions bool
+
+	// lockMu guards the lazily-built per-analyzer lock table below.
+	lockMu sync.Mutex
+	//guard:lockMu
+	analyzerMu map[string]*sync.Mutex
+}
+
+// analyzerLock returns the mutex serializing runs of one analyzer
+// across packages. Analyzers share run-wide state (call graphs, fact
+// scans) through FactStore.Shared without internal locking; holding
+// this lock during each Run is what lets the engine analyze different
+// packages concurrently while every individual analyzer still sees the
+// sequential world it was written for.
+func (c *Context) analyzerLock(name string) *sync.Mutex {
+	c.lockMu.Lock()
+	defer c.lockMu.Unlock()
+	if c.analyzerMu == nil {
+		c.analyzerMu = make(map[string]*sync.Mutex)
+	}
+	mu := c.analyzerMu[name]
+	if mu == nil {
+		mu = new(sync.Mutex)
+		c.analyzerMu[name] = mu
+	}
+	return mu
 }
 
 // Context returns a run context backed by this loader: imported
@@ -336,6 +470,8 @@ type Context struct {
 // once per loader and reused, keeping the fact store shared across
 // packages.
 func (l *Loader) Context() *Context {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if l.ctx == nil {
 		l.ctx = &Context{
 			Fset:  l.Fset,
@@ -353,15 +489,29 @@ func (l *Loader) Context() *Context {
 }
 
 // Run executes every analyzer over pkg and returns the diagnostics
-// that survive `//lint:allow` suppression, in position order.
+// that survive `//lint:allow` suppression, in position order
+// (file, line, column, rule) with exact duplicates removed. The
+// ordering and dedup contract is unconditional so the standalone, vet,
+// and analysistest lanes — and cached replays of any of them — agree
+// byte for byte.
 func Run(analyzers []*framework.Analyzer, pkg *Package, ctx *Context) ([]framework.Diagnostic, error) {
+	return runAnalyzers(analyzers, pkg, ctx, nil)
+}
+
+// runAnalyzers is Run with an optional per-analyzer timing sink (the
+// engine's -stats plumbing). Each analyzer runs under its run-wide
+// lock; see Context.analyzerLock.
+func runAnalyzers(analyzers []*framework.Analyzer, pkg *Package, ctx *Context,
+	timing func(analyzer string, seconds float64)) ([]framework.Diagnostic, error) {
+
 	var diags []framework.Diagnostic
 	sink := func(d framework.Diagnostic) { diags = append(diags, d) }
 	for _, a := range analyzers {
 		pass := framework.NewPass(a, ctx.Fset, pkg.Files, pkg.Types, pkg.Info, sink)
 		pass.Imported = ctx.Imported
 		pass.Facts = ctx.Facts
-		if err := a.Run(pass); err != nil {
+		err := runOneAnalyzer(a, pass, ctx, timing)
+		if err != nil {
 			return nil, fmt.Errorf("driver: %s on %s: %w", a.Name, pkg.Path, err)
 		}
 	}
@@ -376,7 +526,22 @@ func Run(analyzers []*framework.Analyzer, pkg *Package, ctx *Context) ([]framewo
 		// allowcheck <reason>` on the directive's line); allowcheck
 		// directives are exempt from the audit, so this terminates.
 		out = append(out, sup.Filter(sup.Audit(active))...)
-		framework.SortDiagnostics(ctx.Fset, out)
 	}
-	return out, nil
+	framework.SortDiagnostics(ctx.Fset, out)
+	return framework.DedupeDiagnostics(ctx.Fset, out), nil
+}
+
+// runOneAnalyzer runs a single analyzer under its lock, timing it.
+func runOneAnalyzer(a *framework.Analyzer, pass *framework.Pass, ctx *Context,
+	timing func(string, float64)) error {
+
+	mu := ctx.analyzerLock(a.Name)
+	mu.Lock()
+	defer mu.Unlock()
+	start := nowMonotonic()
+	err := a.Run(pass)
+	if timing != nil {
+		timing(a.Name, nowMonotonic()-start)
+	}
+	return err
 }

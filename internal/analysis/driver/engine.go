@@ -1,0 +1,353 @@
+package driver
+
+// The incremental parallel engine. One Lint call is:
+//
+//	Expand → DAG scan → key derivation → cache probe →
+//	level-parallel load/analyze of the misses → merge.
+//
+// Roots whose key has a committed cache entry replay their
+// diagnostics without being loaded at all; a fully warm run touches no
+// parser, no type checker, and no GOROOT source. Missed roots and
+// their transitive dependencies are loaded level by level on the
+// deterministic slotted pool from internal/sweep — every package in a
+// level depends only on earlier levels, so a level is an
+// embarrassingly parallel batch, and every job writes only its own
+// result slot, so the merged output is independent of scheduling.
+// Diagnostics are rendered to module-root-relative positions and
+// sorted globally (file, line, column, rule, message), which makes
+// parallel, sequential (-j1), and cached runs byte-identical.
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"tdcache/internal/analysis/framework"
+	"tdcache/internal/sweep"
+)
+
+// Options configures one engine run.
+type Options struct {
+	// Patterns are the package patterns to lint (Loader.Expand
+	// grammar). Paths under a testdata directory are dropped after
+	// expansion: those trees are analyzer fixtures, not code.
+	Patterns []string
+	// Analyzers is the roster; the engine runs them in name order.
+	Analyzers []*framework.Analyzer
+	// Jobs is the worker-pool width; <= 0 selects GOMAXPROCS, 1 is
+	// fully sequential.
+	Jobs int
+	// CacheDir enables the content-addressed result cache rooted
+	// there; empty disables caching.
+	CacheDir string
+	// Audit enables the suppression-hygiene pass (standalone lane
+	// only; see Context.AuditSuppressions).
+	Audit bool
+}
+
+// RunResult is one engine run's findings and accounting.
+type RunResult struct {
+	// Diags are the surviving diagnostics, globally position-sorted.
+	Diags []Diag
+	// Stats is the run's self-observability record.
+	Stats RunStats
+}
+
+// Lint runs the configured analyzers over the patterns' packages in
+// the module rooted at root.
+func Lint(root string, opts Options) (*RunResult, error) {
+	start := nowMonotonic()
+	loader, err := NewModuleLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	roots, err := loader.Expand(opts.Patterns)
+	if err != nil {
+		return nil, err
+	}
+	kept := roots[:0]
+	for _, p := range roots {
+		if !strings.Contains(p, "/testdata/") {
+			kept = append(kept, p)
+		}
+	}
+	roots = kept
+	graph, err := buildDepGraph(loader, roots)
+	if err != nil {
+		return nil, err
+	}
+	e := &engine{
+		root:    root,
+		loader:  loader,
+		opts:    opts,
+		graph:   graph,
+		isRoot:  make(map[string]bool, len(roots)),
+		miss:    make(map[string]bool, len(roots)),
+		keys:    make(map[string]string, len(graph.deps)),
+		entries: make(map[string]*cacheEntry),
+	}
+	e.roster = append([]*framework.Analyzer(nil), opts.Analyzers...)
+	sort.Slice(e.roster, func(i, j int) bool { return e.roster[i].Name < e.roster[j].Name })
+	for _, p := range roots {
+		e.isRoot[p] = true
+	}
+	if err := e.probe(roots); err != nil {
+		return nil, err
+	}
+	needLoad := e.loadSet(roots)
+	e.ctx = loader.Context()
+	e.ctx.AuditSuppressions = opts.Audit
+
+	pool := sweep.New(opts.Jobs)
+	outcomes := make(map[string]pkgOutcome, len(needLoad))
+	for _, level := range graph.levels {
+		items := level[:0:0]
+		for _, p := range level {
+			if needLoad[p] {
+				items = append(items, p)
+			}
+		}
+		res := e.runLevel(pool, items)
+		for i, out := range res {
+			if out.err != nil {
+				return nil, out.err
+			}
+			outcomes[items[i]] = out
+		}
+	}
+	return e.merge(roots, needLoad, outcomes, pool.Workers(), start)
+}
+
+// engine is the per-Lint state. Everything here is written before the
+// parallel phase starts and only read inside jobs; per-job results
+// travel through pre-indexed pkgOutcome slots.
+type engine struct {
+	root    string
+	loader  *Loader
+	opts    Options
+	roster  []*framework.Analyzer
+	graph   *depGraph
+	ctx     *Context
+	isRoot  map[string]bool
+	miss    map[string]bool
+	keys    map[string]string
+	entries map[string]*cacheEntry
+}
+
+// probe derives every package's cache key in topological order and
+// looks up the roots' entries. Without a cache dir every root is a
+// miss and no keys are derived.
+func (e *engine) probe(roots []string) error {
+	if e.opts.CacheDir == "" {
+		for _, p := range roots {
+			e.miss[p] = true
+		}
+		return nil
+	}
+	for _, level := range e.graph.levels {
+		for _, path := range level {
+			deps := e.graph.deps[path]
+			depKeys := make([][2]string, len(deps))
+			for i, dep := range deps {
+				depKeys[i] = [2]string{dep, e.keys[dep]}
+			}
+			key, err := packageKey(e.roster, e.opts.Audit, path, e.loader.dirFor(path), depKeys)
+			if err != nil {
+				return err
+			}
+			e.keys[path] = key
+		}
+	}
+	for _, p := range roots {
+		if ent := loadEntry(e.opts.CacheDir, e.keys[p]); ent != nil {
+			e.entries[p] = ent
+		} else {
+			e.miss[p] = true
+		}
+	}
+	return nil
+}
+
+// loadSet is the set of packages that must actually be loaded: each
+// missed root and its transitive dependencies. Hit roots outside this
+// set replay without loading.
+func (e *engine) loadSet(roots []string) map[string]bool {
+	need := make(map[string]bool)
+	for _, p := range roots {
+		if !e.miss[p] {
+			continue
+		}
+		need[p] = true
+		for _, dep := range e.graph.transitiveDeps(p) {
+			need[dep] = true
+		}
+	}
+	return need
+}
+
+// pkgOutcome is one package's slot in a level batch.
+type pkgOutcome struct {
+	diags []Diag
+	stats PackageStats
+	err   error
+}
+
+// runLevel fans one topological level out over the pool. The closure
+// writes only its own job's slot and reaches shared state through
+// method calls on e — the same slotted discipline the sweep engine's
+// own jobs follow.
+func (e *engine) runLevel(pool *sweep.Pool, items []string) []pkgOutcome {
+	out := make([]pkgOutcome, len(items))
+	pool.Run(len(items), func(job int, w *sweep.Worker) {
+		out[job] = e.runOne(items[job])
+	})
+	return out
+}
+
+// runOne loads one package and, for missed roots, analyzes it and
+// commits its cache entry. For everything else (dependencies, hit
+// roots a miss depends on) it seeds cached facts when available so
+// analyzers of later levels skip live extraction.
+func (e *engine) runOne(path string) pkgOutcome {
+	ps := PackageStats{Path: path, Key: e.keys[path]}
+	t0 := nowMonotonic()
+	pkg, err := e.loader.Load(path)
+	if err != nil {
+		return pkgOutcome{err: err}
+	}
+	ps.LoadSeconds = nowMonotonic() - t0
+	if !e.miss[path] {
+		ps.Hit = e.isRoot[path]
+		ent := e.entries[path]
+		if ent == nil && e.opts.CacheDir != "" {
+			ent = loadEntry(e.opts.CacheDir, e.keys[path])
+		}
+		if ent != nil && ent.FactsComplete {
+			// A failed import (an already-scanned package, codec drift
+			// in an old entry) is not an error: the syntax is loaded,
+			// so analyzers fall back to live extraction.
+			seedErr := e.ctx.Facts.Import(pkg.Types, ent.Facts)
+			ps.FactsSeeded = seedErr == nil
+		}
+		if e.isRoot[path] {
+			return pkgOutcome{diags: e.entries[path].Diags, stats: ps}
+		}
+		return pkgOutcome{stats: ps}
+	}
+	t1 := nowMonotonic()
+	ps.Analyzers = make(map[string]float64, len(e.roster))
+	fdiags, err := runAnalyzers(e.roster, pkg, e.ctx, func(name string, seconds float64) {
+		ps.Analyzers[name] += seconds
+	})
+	if err != nil {
+		return pkgOutcome{err: err}
+	}
+	ps.AnalyzeSeconds = nowMonotonic() - t1
+	diags := e.render(fdiags)
+	if e.opts.CacheDir != "" {
+		facts, complete := e.ctx.Facts.Export(pkg.Types)
+		ent := &cacheEntry{
+			Schema: cacheSchema, Key: e.keys[path], Package: path,
+			Diags: diags, Facts: facts, FactsComplete: complete,
+		}
+		if err := commitEntry(e.opts.CacheDir, ent); err != nil {
+			return pkgOutcome{err: err}
+		}
+	}
+	return pkgOutcome{diags: diags, stats: ps}
+}
+
+// render resolves framework diagnostics to module-root-relative wire
+// form.
+func (e *engine) render(diags []framework.Diagnostic) []Diag {
+	out := make([]Diag, len(diags))
+	for i, d := range diags {
+		pos := e.loader.Fset.Position(d.Pos)
+		out[i] = Diag{
+			Rule: d.Rule, File: relativeTo(e.root, pos.Filename),
+			Line: pos.Line, Col: pos.Column, Message: d.Message,
+		}
+	}
+	return out
+}
+
+// relativeTo renders file relative to root (slash-separated) when it
+// lies inside it, which every module file does; GOROOT paths (never in
+// diagnostics, but defensively) stay absolute.
+func relativeTo(root, file string) string {
+	rel, err := filepath.Rel(root, file)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return file
+	}
+	return filepath.ToSlash(rel)
+}
+
+// merge assembles the final result: replayed hits plus analyzed
+// misses, globally sorted, with the run's stats.
+func (e *engine) merge(roots []string, needLoad map[string]bool,
+	outcomes map[string]pkgOutcome, jobs int, start float64) (*RunResult, error) {
+
+	res := &RunResult{}
+	for _, p := range roots {
+		if out, ok := outcomes[p]; ok {
+			res.Diags = append(res.Diags, out.diags...)
+			continue
+		}
+		// A hit root nothing depended on: replay without a load.
+		ent := e.entries[p]
+		if ent == nil {
+			return nil, fmt.Errorf("driver: no outcome for %s", p)
+		}
+		res.Diags = append(res.Diags, ent.Diags...)
+		outcomes[p] = pkgOutcome{stats: PackageStats{Path: p, Hit: true, Key: e.keys[p]}}
+	}
+	SortDiags(res.Diags)
+
+	st := &res.Stats
+	st.Packages = len(roots)
+	st.Jobs = jobs
+	paths := make([]string, 0, len(outcomes))
+	for p := range outcomes {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		ps := outcomes[p].stats
+		st.PerPackage = append(st.PerPackage, ps)
+		st.LoadSeconds += ps.LoadSeconds
+		st.AnalyzeSeconds += ps.AnalyzeSeconds
+		if ps.Hit {
+			st.CacheHits++
+		} else if e.isRoot[p] {
+			st.CacheMisses++
+		}
+	}
+	st.WallSeconds = nowMonotonic() - start
+	if st.WallSeconds > 0 {
+		st.Parallelism = (st.LoadSeconds + st.AnalyzeSeconds) / st.WallSeconds
+	}
+	return res, nil
+}
+
+// SortDiags orders rendered diagnostics by file, line, column, rule,
+// message — the engine's single output ordering, shared by live,
+// replayed, and merged paths.
+func SortDiags(diags []Diag) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+}

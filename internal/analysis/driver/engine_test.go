@@ -1,0 +1,253 @@
+package driver
+
+// Engine-level coverage: byte-identity of parallel, sequential, and
+// cached runs; transitive cache invalidation; analyzer-version
+// invalidation; and the commit/reload protocol of the entry store.
+
+import (
+	"encoding/json"
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tdcache/internal/analysis/framework"
+)
+
+// badFuncAnalyzer flags every function whose name starts with "Bad" —
+// a deterministic stand-in for the real roster that keeps engine tests
+// independent of rule churn.
+func badFuncAnalyzer(version string) *framework.Analyzer {
+	return &framework.Analyzer{
+		Name:    "badfunc",
+		Doc:     "test analyzer flagging functions named Bad*",
+		Version: version,
+		Run: func(pass *framework.Pass) error {
+			for _, f := range pass.Files {
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || !strings.HasPrefix(fd.Name.Name, "Bad") {
+						continue
+					}
+					pass.Reportf(fd.Pos(), "function %s is bad", fd.Name.Name)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// engineModule is a four-package module: top -> mid -> leaf, plus an
+// independent package. top and other carry one finding each.
+func engineModule(t *testing.T) string {
+	t.Helper()
+	return writeTree(t, map[string]string{
+		"go.mod":         "module m\n\ngo 1.24\n",
+		"leaf/leaf.go":   "package leaf\n\nfunc Value() int { return 1 }\n",
+		"mid/mid.go":     "package mid\n\nimport \"m/leaf\"\n\nfunc Twice() int { return 2 * leaf.Value() }\n",
+		"top/top.go":     "package top\n\nimport \"m/mid\"\n\nfunc BadTop() int { return mid.Twice() }\n",
+		"other/other.go": "package other\n\nfunc BadOther() {}\n",
+	})
+}
+
+func lintModule(t *testing.T, root, cacheDir string, jobs int, version string) *RunResult {
+	t.Helper()
+	res, err := Lint(root, Options{
+		Patterns:  []string{"./..."},
+		Analyzers: []*framework.Analyzer{badFuncAnalyzer(version)},
+		Jobs:      jobs,
+		CacheDir:  cacheDir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func diagsJSON(t *testing.T, res *RunResult) string {
+	t.Helper()
+	b, err := json.Marshal(res.Diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// hitByPath indexes a run's per-package cache outcomes.
+func hitByPath(res *RunResult) map[string]bool {
+	out := make(map[string]bool, len(res.Stats.PerPackage))
+	for _, ps := range res.Stats.PerPackage {
+		out[ps.Path] = ps.Hit
+	}
+	return out
+}
+
+// TestLintColdWarmSequentialIdentical is the engine's core contract:
+// a parallel cold run, a fully warm replay, a sequential (-j1) run,
+// and an uncached run all produce byte-identical findings.
+func TestLintColdWarmSequentialIdentical(t *testing.T) {
+	root := engineModule(t)
+	cacheDir := t.TempDir()
+
+	cold := lintModule(t, root, cacheDir, 0, "1")
+	warm := lintModule(t, root, cacheDir, 0, "1")
+	seq := lintModule(t, root, t.TempDir(), 1, "1")
+	plain := lintModule(t, root, "", 0, "1")
+
+	want := diagsJSON(t, cold)
+	for name, res := range map[string]*RunResult{"warm": warm, "sequential": seq, "uncached": plain} {
+		if got := diagsJSON(t, res); got != want {
+			t.Errorf("%s findings differ from cold:\n cold: %s\n %s: %s", name, want, name, got)
+		}
+	}
+
+	if len(cold.Diags) != 2 {
+		t.Fatalf("cold run found %d diagnostics, want 2: %+v", len(cold.Diags), cold.Diags)
+	}
+	if d := cold.Diags[0]; d.File != "other/other.go" || d.Rule != "badfunc" {
+		t.Errorf("first diagnostic = %+v, want badfunc in other/other.go", d)
+	}
+	if d := cold.Diags[1]; d.File != "top/top.go" {
+		t.Errorf("second diagnostic = %+v, want top/top.go", d)
+	}
+
+	if cold.Stats.CacheMisses != 4 || cold.Stats.CacheHits != 0 {
+		t.Errorf("cold stats = %d hits / %d misses, want 0/4", cold.Stats.CacheHits, cold.Stats.CacheMisses)
+	}
+	if warm.Stats.CacheHits != 4 || warm.Stats.CacheMisses != 0 {
+		t.Errorf("warm stats = %d hits / %d misses, want 4/0", warm.Stats.CacheHits, warm.Stats.CacheMisses)
+	}
+	if warm.Stats.Packages != 4 || warm.Stats.Jobs < 1 {
+		t.Errorf("warm stats = %+v, want 4 packages on >=1 jobs", warm.Stats)
+	}
+}
+
+// TestLintDepEditInvalidation: editing a leaf re-keys exactly its
+// transitive dependents; unrelated packages replay from cache.
+func TestLintDepEditInvalidation(t *testing.T) {
+	root := engineModule(t)
+	cacheDir := t.TempDir()
+	lintModule(t, root, cacheDir, 0, "1")
+
+	leaf := filepath.Join(root, "leaf", "leaf.go")
+	edited := "package leaf\n\nfunc Value() int { return 1 }\n\nfunc BadLeaf() {}\n"
+	if err := os.WriteFile(leaf, []byte(edited), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	res := lintModule(t, root, cacheDir, 0, "1")
+	hits := hitByPath(res)
+	for _, path := range []string{"m/leaf", "m/mid", "m/top"} {
+		if hits[path] {
+			t.Errorf("%s replayed from cache after its dependency chain changed", path)
+		}
+	}
+	if !hits["m/other"] {
+		t.Error("m/other missed the cache after an unrelated edit")
+	}
+	if res.Stats.CacheHits != 1 || res.Stats.CacheMisses != 3 {
+		t.Errorf("stats = %d hits / %d misses, want 1/3", res.Stats.CacheHits, res.Stats.CacheMisses)
+	}
+	found := false
+	for _, d := range res.Diags {
+		if d.File == "leaf/leaf.go" && strings.Contains(d.Message, "BadLeaf") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("edited leaf's new finding missing from %+v", res.Diags)
+	}
+}
+
+// TestLintVersionBumpInvalidates: bumping one analyzer's Version
+// re-keys the world.
+func TestLintVersionBumpInvalidates(t *testing.T) {
+	root := engineModule(t)
+	cacheDir := t.TempDir()
+	lintModule(t, root, cacheDir, 0, "1")
+
+	res := lintModule(t, root, cacheDir, 0, "2")
+	if res.Stats.CacheHits != 0 || res.Stats.CacheMisses != 4 {
+		t.Errorf("after version bump: %d hits / %d misses, want 0/4", res.Stats.CacheHits, res.Stats.CacheMisses)
+	}
+	// And the bumped roster's entries are themselves cached.
+	again := lintModule(t, root, cacheDir, 0, "2")
+	if again.Stats.CacheHits != 4 {
+		t.Errorf("second run at the new version: %d hits, want 4", again.Stats.CacheHits)
+	}
+}
+
+// TestCacheCommitAndReload pins the entry store protocol: committed
+// entries round-trip, recommitting is idempotent, and every corruption
+// mode reads as a plain miss, never an error.
+func TestCacheCommitAndReload(t *testing.T) {
+	cacheDir := t.TempDir()
+	key := strings.Repeat("ab", 32)
+	ent := &cacheEntry{
+		Schema:  cacheSchema,
+		Key:     key,
+		Package: "m/p",
+		Diags: []Diag{
+			{Rule: "badfunc", File: "p/p.go", Line: 3, Col: 1, Message: "function BadP is bad"},
+		},
+		FactsComplete: true,
+	}
+	if err := commitEntry(cacheDir, ent); err != nil {
+		t.Fatal(err)
+	}
+	got := loadEntry(cacheDir, key)
+	if got == nil {
+		t.Fatal("committed entry does not load")
+	}
+	if got.Package != ent.Package || len(got.Diags) != 1 || got.Diags[0] != ent.Diags[0] || !got.FactsComplete {
+		t.Errorf("reloaded entry = %+v, want %+v", got, ent)
+	}
+
+	// Losing the rename race (the directory already exists) is success.
+	if err := commitEntry(cacheDir, ent); err != nil {
+		t.Errorf("recommitting an existing entry: %v", err)
+	}
+
+	if loadEntry(cacheDir, strings.Repeat("cd", 32)) != nil {
+		t.Error("unknown key loaded an entry")
+	}
+
+	entryFile := filepath.Join(cacheEntryDir(cacheDir, key), "entry.json")
+
+	// A key mismatch inside the entry is a miss (mis-filed content).
+	ent.Key = strings.Repeat("ef", 32)
+	b, err := json.Marshal(ent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(entryFile, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if loadEntry(cacheDir, key) != nil {
+		t.Error("entry with mismatched key loaded")
+	}
+
+	// A schema from another era is a miss.
+	ent.Key = key
+	ent.Schema = cacheSchema + 1
+	b, err = json.Marshal(ent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(entryFile, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if loadEntry(cacheDir, key) != nil {
+		t.Error("entry with future schema loaded")
+	}
+
+	// Truncated JSON — a crashed writer can never produce this (commit
+	// is rename-atomic), but a corrupted disk can — is a miss.
+	if err := os.WriteFile(entryFile, b[:len(b)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if loadEntry(cacheDir, key) != nil {
+		t.Error("corrupt entry loaded")
+	}
+}

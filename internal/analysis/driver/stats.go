@@ -1,0 +1,67 @@
+package driver
+
+// Self-observability for the engine: every Lint call accounts its own
+// wall time, per-package load/analyze split, per-analyzer time, and
+// cache behavior, in the JSON shape `tdcache-lint -stats` emits and
+// BENCH_lint.json checks in. The driver sits outside detrand's
+// simulator scope, so reading the wall clock here is legitimate — the
+// timings are observability output, never simulation input.
+
+import "time"
+
+// processStart anchors nowMonotonic; only differences of nowMonotonic
+// values are ever used, so the anchor is arbitrary.
+var processStart = time.Now()
+
+// nowMonotonic returns seconds since process start on the monotonic
+// clock.
+func nowMonotonic() float64 { return time.Since(processStart).Seconds() }
+
+// RunStats describes one engine run.
+type RunStats struct {
+	// Packages is the number of requested root packages (the ones
+	// whose diagnostics the run reports).
+	Packages int `json:"packages"`
+	// CacheHits and CacheMisses partition the roots by whether their
+	// diagnostics replayed from the cache. With no cache dir every
+	// root is a miss.
+	CacheHits   int `json:"cache_hits"`
+	CacheMisses int `json:"cache_misses"`
+	// Jobs is the worker-pool width actually used.
+	Jobs int `json:"jobs"`
+	// WallSeconds is the end-to-end engine time; LoadSeconds and
+	// AnalyzeSeconds are sums across packages, so on a multi-core run
+	// their sum exceeds wall time by the achieved parallelism.
+	WallSeconds    float64 `json:"wall_seconds"`
+	LoadSeconds    float64 `json:"load_seconds"`
+	AnalyzeSeconds float64 `json:"analyze_seconds"`
+	// Parallelism is (LoadSeconds+AnalyzeSeconds)/WallSeconds — 1.0
+	// when sequential, approaching Jobs when the DAG is wide enough.
+	Parallelism float64 `json:"parallelism"`
+	// PerPackage holds one entry per root or loaded dependency, in
+	// sorted path order.
+	PerPackage []PackageStats `json:"per_package"`
+}
+
+// PackageStats describes one package's part in a run.
+type PackageStats struct {
+	Path string `json:"path"`
+	// Hit reports that the package's diagnostics replayed from the
+	// cache (always false for non-root dependencies, which have no
+	// diagnostics of their own in the run).
+	Hit bool `json:"cache_hit"`
+	// Key is the package's content-addressed cache key, when a cache
+	// dir was configured.
+	Key string `json:"key,omitempty"`
+	// FactsSeeded reports that the package's facts were imported from
+	// its cache entry instead of extracted live from syntax.
+	FactsSeeded bool `json:"facts_seeded,omitempty"`
+	// LoadSeconds is parse+type-check time; zero for replayed hits
+	// that nothing downstream needed loaded.
+	LoadSeconds float64 `json:"load_seconds"`
+	// AnalyzeSeconds sums the Analyzers map.
+	AnalyzeSeconds float64 `json:"analyze_seconds"`
+	// Analyzers is per-analyzer wall time, present for analyzed
+	// (missed) packages.
+	Analyzers map[string]float64 `json:"analyzers,omitempty"`
+}

@@ -54,7 +54,8 @@ import (
 
 // Analyzer is the exhaustcheck rule.
 var Analyzer = &framework.Analyzer{
-	Name: "exhaustcheck",
+	Name:    "exhaustcheck",
+	Version: "1",
 	Doc: "a switch over an //enum:closed type must cover every member or carry a default " +
 		"annotated //enum:default <reason>",
 	Run: run,

@@ -1,0 +1,215 @@
+package framework
+
+// Serialized-facts coverage: the stable object-path grammar, the
+// Export completeness contract, and Import's all-or-nothing semantics.
+
+import (
+	"encoding/json"
+	"errors"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+const factsSrc = `package p
+
+const C = 1
+
+var V int
+
+func F(a int) (r int) {
+	local := a
+	return local
+}
+
+type T struct {
+	f int
+}
+
+func (t *T) M(p int) {}
+`
+
+// checkFactsPkg type-checks factsSrc into a fresh package, so two
+// calls model "the same source in two processes": identical paths,
+// distinct object identities.
+func checkFactsPkg(t *testing.T) (*types.Package, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", factsSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{Defs: make(map[*ast.Ident]types.Object)}
+	pkg, err := (&types.Config{}).Check("example/p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg, info
+}
+
+func TestPathIndexGrammar(t *testing.T) {
+	pkg, _ := checkFactsPkg(t)
+	byObj, byPath := pathIndex(pkg)
+	want := []string{"C", "V", "F", "F.a", "F.r", "T", "T.f", "T.M", "T.M.p"}
+	for _, path := range want {
+		obj, ok := byPath[path]
+		if !ok {
+			t.Errorf("path %q missing from index", path)
+			continue
+		}
+		if back := byObj[obj]; back != path {
+			t.Errorf("path %q round-trips to %q", path, back)
+		}
+	}
+	// Method objects resolve to the method, not the field namespace.
+	if m, ok := byPath["T.M"].(*types.Func); !ok {
+		t.Errorf("T.M indexed as %T, want *types.Func", byPath["T.M"])
+	} else if m.Name() != "M" {
+		t.Errorf("T.M resolves to %s", m.Name())
+	}
+	if v, ok := byPath["T.f"].(*types.Var); !ok || !v.IsField() {
+		t.Errorf("T.f indexed as %v, want a struct field", byPath["T.f"])
+	}
+}
+
+// stringCodec serializes string facts; decoding the sentinel payload
+// fails so tests can poison an import.
+type stringCodec struct{}
+
+func (stringCodec) Encode(fact any) (json.RawMessage, bool) {
+	s, ok := fact.(string)
+	if !ok {
+		return nil, false
+	}
+	b, err := json.Marshal(s)
+	if err != nil {
+		return nil, false
+	}
+	return b, true
+}
+
+func (stringCodec) Decode(data json.RawMessage) (any, error) {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, err
+	}
+	if s == "poison" {
+		return nil, errors.New("poison fact")
+	}
+	return s, nil
+}
+
+const factsTestNS = "facts-test"
+
+func init() { RegisterFactCodec(factsTestNS, stringCodec{}) }
+
+func TestExportImportRoundTrip(t *testing.T) {
+	src, _ := checkFactsPkg(t)
+	store := NewFactStore()
+	scope := src.Scope()
+	_, byPath := pathIndex(src)
+	store.SetObjectNS(factsTestNS, scope.Lookup("F"), "fact-on-F")
+	store.SetObjectNS(factsTestNS, byPath["T.M.p"], "fact-on-param")
+	store.SetObjectNS(factsTestNS, byPath["T.f"], "fact-on-field")
+
+	facts, complete := store.Export(src)
+	if !complete {
+		t.Fatal("export of codec-covered facts is incomplete")
+	}
+	if len(facts) != 3 {
+		t.Fatalf("exported %d facts, want 3: %+v", len(facts), facts)
+	}
+	for i := 1; i < len(facts); i++ {
+		if facts[i-1].Obj > facts[i].Obj {
+			t.Errorf("export order not sorted: %q before %q", facts[i-1].Obj, facts[i].Obj)
+		}
+	}
+
+	// "Another process": same source, fresh objects, fresh store.
+	dst, _ := checkFactsPkg(t)
+	fresh := NewFactStore()
+	if err := fresh.Import(dst, facts); err != nil {
+		t.Fatal(err)
+	}
+	_, dstByPath := pathIndex(dst)
+	got, ok := fresh.ObjectNS(factsTestNS, dstByPath["T.M.p"])
+	if !ok || got != "fact-on-param" {
+		t.Errorf("imported fact on T.M.p = %v (%t), want fact-on-param", got, ok)
+	}
+	if !fresh.MarkPackage(dst) {
+		t.Error("Import did not mark the package scanned")
+	}
+}
+
+func TestExportIncompleteWithoutCodec(t *testing.T) {
+	src, _ := checkFactsPkg(t)
+	store := NewFactStore()
+	store.SetObjectNS(factsTestNS, src.Scope().Lookup("V"), "serializable")
+	store.SetObjectNS("facts-test-no-codec", src.Scope().Lookup("F"), "stranded")
+	if _, complete := store.Export(src); complete {
+		t.Error("export claims completeness with a codec-less namespace in the store")
+	}
+}
+
+func TestExportIncompleteForUnpathedObject(t *testing.T) {
+	src, info := checkFactsPkg(t)
+	var local types.Object
+	for ident, obj := range info.Defs {
+		if ident.Name == "local" {
+			local = obj
+		}
+	}
+	if local == nil {
+		t.Fatal("no local object in Defs")
+	}
+	store := NewFactStore()
+	store.SetObjectNS(factsTestNS, local, "unreachable")
+	if _, complete := store.Export(src); complete {
+		t.Error("export claims completeness for a fact the path grammar cannot name")
+	}
+	// Facts on other packages' objects are simply out of scope, not
+	// incompleteness.
+	other, _ := checkFactsPkg(t)
+	store2 := NewFactStore()
+	store2.SetObjectNS(factsTestNS, other.Scope().Lookup("F"), "foreign")
+	if facts, complete := store2.Export(src); !complete || len(facts) != 0 {
+		t.Errorf("foreign-object export = %d facts, complete=%t; want 0, true", len(facts), complete)
+	}
+}
+
+func TestImportIsAllOrNothing(t *testing.T) {
+	dst, _ := checkFactsPkg(t)
+	store := NewFactStore()
+	good := EncodedFact{NS: factsTestNS, Obj: "F", Data: json.RawMessage(`"fine"`)}
+
+	// An unresolvable path rejects the whole set.
+	err := store.Import(dst, []EncodedFact{good, {NS: factsTestNS, Obj: "Nope", Data: json.RawMessage(`"x"`)}})
+	if err == nil {
+		t.Fatal("import with a dangling path succeeded")
+	}
+	// A failing decode rejects the whole set.
+	err = store.Import(dst, []EncodedFact{good, {NS: factsTestNS, Obj: "V", Data: json.RawMessage(`"poison"`)}})
+	if err == nil {
+		t.Fatal("import with a poison payload succeeded")
+	}
+	// An unknown namespace rejects the whole set.
+	err = store.Import(dst, []EncodedFact{good, {NS: "facts-test-no-codec", Obj: "V", Data: json.RawMessage(`"x"`)}})
+	if err == nil {
+		t.Fatal("import with a codec-less namespace succeeded")
+	}
+	// Nothing from the rejected sets leaked in, and the package is
+	// still unmarked — live extraction must still run.
+	if _, ok := store.ObjectNS(factsTestNS, dst.Scope().Lookup("F")); ok {
+		t.Error("rejected import stored a fact")
+	}
+	if store.MarkPackage(dst) {
+		t.Fatal("rejected import marked the package")
+	}
+
+	// The package is now marked (live facts may exist): imports refuse.
+	if err := store.Import(dst, []EncodedFact{good}); err == nil {
+		t.Error("import into an already-marked package succeeded")
+	}
+}

@@ -1,0 +1,55 @@
+package hotpath
+
+// Wire codec for hotpath's exported *Summary facts. As with purecheck,
+// positions are dropped (a decoded Violation anchors at NoPos): the
+// analyzer reports at positions inside the package under analysis and
+// rebuilds interprocedural state from dependency syntax, so cached
+// summaries only need to exist — completely — for their package to be
+// cacheable.
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"tdcache/internal/analysis/framework"
+)
+
+func init() {
+	framework.RegisterFactCodec(FactNS, summaryCodec{})
+}
+
+// wireSummary strips positions from a Summary.
+type wireSummary struct {
+	Reason string   `json:"reason,omitempty"`
+	Local  []string `json:"local,omitempty"`
+}
+
+type summaryCodec struct{}
+
+func (summaryCodec) Encode(fact any) (json.RawMessage, bool) {
+	sum, ok := fact.(*Summary)
+	if !ok {
+		return nil, false
+	}
+	w := wireSummary{Reason: sum.Reason}
+	for _, v := range sum.Local {
+		w.Local = append(w.Local, v.Desc)
+	}
+	b, err := json.Marshal(w)
+	if err != nil {
+		return nil, false
+	}
+	return b, true
+}
+
+func (summaryCodec) Decode(data json.RawMessage) (any, error) {
+	var w wireSummary
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("hotpath: decoding summary: %w", err)
+	}
+	sum := &Summary{Reason: w.Reason}
+	for _, d := range w.Local {
+		sum.Local = append(sum.Local, Violation{Desc: d})
+	}
+	return sum, nil
+}

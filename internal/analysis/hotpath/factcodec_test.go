@@ -1,0 +1,33 @@
+package hotpath
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestSummaryCodecRoundTrip(t *testing.T) {
+	c := summaryCodec{}
+	sum := &Summary{
+		Reason: "allocates in loop",
+		Local:  []Violation{{Desc: "append without preallocation"}, {Desc: "map literal per iteration"}},
+	}
+	data, ok := c.Encode(sum)
+	if !ok {
+		t.Fatal("Encode not ok")
+	}
+	got, err := c.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := got.(*Summary)
+	if back.Reason != sum.Reason || len(back.Local) != 2 || back.Local[0].Desc != sum.Local[0].Desc {
+		t.Fatalf("round-trip = %+v, want %+v", back, sum)
+	}
+
+	if _, ok := c.Encode(42); ok {
+		t.Error("Encode accepted a foreign value")
+	}
+	if _, err := c.Decode(json.RawMessage(`{`)); err == nil {
+		t.Error("Decode accepted malformed JSON")
+	}
+}

@@ -64,7 +64,8 @@ import (
 
 // Analyzer is the hotpath rule.
 var Analyzer = &framework.Analyzer{
-	Name: "hotpath",
+	Name:    "hotpath",
+	Version: "1",
 	Doc: "functions tagged //hotpath: must be transitively free of heap allocation, " +
 		"map iteration, mutex/channel operations, defer, and reachable panic",
 	Run: run,

@@ -34,7 +34,8 @@ import (
 
 // Analyzer is the mapiter rule.
 var Analyzer = &framework.Analyzer{
-	Name: "mapiter",
+	Name:    "mapiter",
+	Version: "1",
 	Doc: "flag order-sensitive bodies of range-over-map loops (float accumulation, " +
 		"unsorted appends, output writes); collect and sort keys first",
 	Run: run,

@@ -1,0 +1,65 @@
+package purecheck
+
+// Wire codec for purecheck's exported *Summary facts. Positions are
+// file-local token.Pos values that cannot survive a process, so the
+// wire form keeps only the descriptions; a decoded Fact anchors at
+// NoPos. That is sufficient because the analyzer never reports at a
+// cached fact's position: diagnostics anchor at call sites inside the
+// package under analysis, and the analyzer rebuilds its own state from
+// dependency syntax rather than reading summaries back from the store
+// — cached summaries exist so a package whose facts are all
+// serializable can be cached at all (Export is all-or-nothing).
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"tdcache/internal/analysis/framework"
+)
+
+func init() {
+	framework.RegisterFactCodec(FactNS, summaryCodec{})
+}
+
+// wireSummary strips positions from a Summary.
+type wireSummary struct {
+	PkgWrites   []string `json:"pkg_writes,omitempty"`
+	Entropy     []string `json:"entropy,omitempty"`
+	MutatesRecv bool     `json:"mutates_recv,omitempty"`
+}
+
+type summaryCodec struct{}
+
+func (summaryCodec) Encode(fact any) (json.RawMessage, bool) {
+	sum, ok := fact.(*Summary)
+	if !ok {
+		return nil, false
+	}
+	w := wireSummary{MutatesRecv: sum.MutatesRecv}
+	for _, f := range sum.PkgWrites {
+		w.PkgWrites = append(w.PkgWrites, f.Desc)
+	}
+	for _, f := range sum.Entropy {
+		w.Entropy = append(w.Entropy, f.Desc)
+	}
+	b, err := json.Marshal(w)
+	if err != nil {
+		return nil, false
+	}
+	return b, true
+}
+
+func (summaryCodec) Decode(data json.RawMessage) (any, error) {
+	var w wireSummary
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("purecheck: decoding summary: %w", err)
+	}
+	sum := &Summary{MutatesRecv: w.MutatesRecv}
+	for _, d := range w.PkgWrites {
+		sum.PkgWrites = append(sum.PkgWrites, Fact{Desc: d})
+	}
+	for _, d := range w.Entropy {
+		sum.Entropy = append(sum.Entropy, Fact{Desc: d})
+	}
+	return sum, nil
+}

@@ -1,0 +1,37 @@
+package purecheck
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestSummaryCodecRoundTrip(t *testing.T) {
+	c := summaryCodec{}
+	sum := &Summary{
+		PkgWrites:   []Fact{{Desc: "writes pkg var counter"}},
+		Entropy:     []Fact{{Desc: "calls rand.Float64"}, {Desc: "reads time.Now"}},
+		MutatesRecv: true,
+	}
+	data, ok := c.Encode(sum)
+	if !ok {
+		t.Fatal("Encode not ok")
+	}
+	got, err := c.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := got.(*Summary)
+	if !back.MutatesRecv || len(back.PkgWrites) != 1 || len(back.Entropy) != 2 {
+		t.Fatalf("round-trip = %+v, want %+v", back, sum)
+	}
+	if back.PkgWrites[0].Desc != sum.PkgWrites[0].Desc || back.Entropy[1].Desc != sum.Entropy[1].Desc {
+		t.Errorf("descriptions lost: %+v", back)
+	}
+
+	if _, ok := c.Encode("not a summary"); ok {
+		t.Error("Encode accepted a foreign value")
+	}
+	if _, err := c.Decode(json.RawMessage(`{`)); err == nil {
+		t.Error("Decode accepted malformed JSON")
+	}
+}

@@ -58,7 +58,8 @@ import (
 
 // Analyzer is the purecheck rule.
 var Analyzer = &framework.Analyzer{
-	Name: "purecheck",
+	Name:    "purecheck",
+	Version: "1",
 	Doc: "functions memoized through (*sweep.Memo).Do must be pure functions of the key: " +
 		"no package-level writes, no ambient entropy, no unmanaged receiver mutation",
 	Run: run,

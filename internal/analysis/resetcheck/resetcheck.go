@@ -40,7 +40,8 @@ import (
 
 // Analyzer is the resetcheck rule.
 var Analyzer = &framework.Analyzer{
-	Name: "resetcheck",
+	Name:    "resetcheck",
+	Version: "1",
 	Doc: "every mutable field of a struct with a Reset method must be assigned or " +
 		"cleared by Reset, so recycled harnesses cannot leak state between jobs",
 	Run: run,

@@ -1,0 +1,85 @@
+package unitflow
+
+// Wire codec for unitflow's facts, registered for the un-namespaced
+// FactStore slot the analyzer historically owns. Two value shapes live
+// there: a Unit on consts, vars, fields, parameters, and named
+// results, and a *funcUnits signature summary on functions. Both are
+// plain data (canonical unit strings), so the cached form is exact —
+// a warm import reproduces precisely what a live extract would have
+// stored, which is what lets the incremental engine MarkPackage a
+// cached package without changing any diagnostic.
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"tdcache/internal/analysis/framework"
+)
+
+func init() {
+	framework.RegisterFactCodec("", unitCodec{})
+}
+
+// wireFact is the serialized form of either value shape.
+type wireFact struct {
+	// Kind is "unit" for a bare Unit, "func" for a funcUnits summary.
+	Kind string `json:"kind"`
+	// Unit is the canonical unit string (kind "unit").
+	Unit string `json:"unit,omitempty"`
+	// Params and Result carry the signature units (kind "func").
+	Params map[string]string `json:"params,omitempty"`
+	Result string            `json:"result,omitempty"`
+}
+
+type unitCodec struct{}
+
+func (unitCodec) Encode(fact any) (json.RawMessage, bool) {
+	var w wireFact
+	switch f := fact.(type) {
+	case Unit:
+		w = wireFact{Kind: "unit", Unit: string(f)}
+	case *funcUnits:
+		w = wireFact{Kind: "func", Result: string(f.result)}
+		if len(f.params) > 0 {
+			w.Params = make(map[string]string, len(f.params))
+			for name, u := range f.params {
+				w.Params[name] = string(u)
+			}
+		}
+	default:
+		return nil, false
+	}
+	b, err := json.Marshal(w)
+	if err != nil {
+		return nil, false
+	}
+	return b, true
+}
+
+func (unitCodec) Decode(data json.RawMessage) (any, error) {
+	var w wireFact
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("unitflow: decoding fact: %w", err)
+	}
+	switch w.Kind {
+	case "unit":
+		return Unit(w.Unit), nil
+	case "func":
+		fu := &funcUnits{params: make(map[string]Unit, len(w.Params)), result: Unit(w.Result)}
+		if fu.result == "" {
+			fu.result = Unknown
+		}
+		names := make([]string, 0, len(w.Params))
+		for name := range w.Params {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fu.params[name] = Unit(w.Params[name])
+		}
+		return fu, nil
+	default:
+		return nil, fmt.Errorf("unitflow: unknown fact kind %q", w.Kind)
+	}
+}

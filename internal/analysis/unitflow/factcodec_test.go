@@ -1,0 +1,71 @@
+package unitflow
+
+// Round-trips for the wire codec: the cached form of a fact must
+// reproduce exactly what a live extract would have stored, or a warm
+// engine run could diverge from a cold one.
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func roundTrip(t *testing.T, fact any) any {
+	t.Helper()
+	c := unitCodec{}
+	data, ok := c.Encode(fact)
+	if !ok {
+		t.Fatalf("Encode(%#v) not ok", fact)
+	}
+	back, err := c.Decode(data)
+	if err != nil {
+		t.Fatalf("Decode(%s): %v", data, err)
+	}
+	return back
+}
+
+func TestUnitCodecRoundTripsUnit(t *testing.T) {
+	for _, u := range []Unit{"ns", "1", Unknown, "V*s"} {
+		back, ok := roundTrip(t, u).(Unit)
+		if !ok || back != u {
+			t.Errorf("Unit %q round-tripped to %#v", u, back)
+		}
+	}
+}
+
+func TestUnitCodecRoundTripsFuncUnits(t *testing.T) {
+	fu := &funcUnits{
+		params: map[string]Unit{"t": "ns", "v": "V"},
+		result: "V",
+	}
+	back, ok := roundTrip(t, fu).(*funcUnits)
+	if !ok {
+		t.Fatalf("funcUnits round-tripped to %#v", back)
+	}
+	if back.result != fu.result || len(back.params) != len(fu.params) {
+		t.Fatalf("round-trip = %+v, want %+v", back, fu)
+	}
+	for name, u := range fu.params {
+		if back.params[name] != u {
+			t.Errorf("param %s = %q, want %q", name, back.params[name], u)
+		}
+	}
+
+	// A tagless result decodes to the absorbing Unknown, matching what
+	// extract stores for an untagged signature.
+	noResult := roundTrip(t, &funcUnits{params: map[string]Unit{"x": "Hz"}}).(*funcUnits)
+	if noResult.result != Unknown {
+		t.Errorf("empty result decoded to %q, want Unknown", noResult.result)
+	}
+}
+
+func TestUnitCodecRejectsForeignValues(t *testing.T) {
+	if _, ok := (unitCodec{}).Encode(42); ok {
+		t.Error("Encode accepted a non-fact value")
+	}
+	if _, err := (unitCodec{}).Decode(json.RawMessage(`{"kind":"mystery"}`)); err == nil {
+		t.Error("Decode accepted an unknown fact kind")
+	}
+	if _, err := (unitCodec{}).Decode(json.RawMessage(`{`)); err == nil {
+		t.Error("Decode accepted malformed JSON")
+	}
+}

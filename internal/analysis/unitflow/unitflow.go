@@ -10,7 +10,8 @@ import (
 
 // Analyzer is the unitflow rule.
 var Analyzer = &framework.Analyzer{
-	Name: "unitflow",
+	Name:    "unitflow",
+	Version: "1",
 	Doc: `unitflow propagates //unit: declarations through assignments,
 arithmetic, and calls (including cross-package calls) and reports
 provable physical-unit errors: adding/subtracting/comparing values of
