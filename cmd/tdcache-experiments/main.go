@@ -40,6 +40,7 @@ func main() {
 		seed         = flag.Uint64("seed", 0, "root random seed")
 		benchmarks   = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all eight)")
 		quick        = flag.Bool("quick", false, "use the reduced smoke-test configuration")
+		backend      = flag.String("backend", "", "cell backend: "+strings.Join(tdcache.Backends(), ", ")+" (default "+tdcache.DefaultBackend+")")
 		parallel     = flag.Int("parallel", 0, "sweep worker-pool width (0 = GOMAXPROCS, 1 = sequential; output is identical)")
 		format       = flag.String("format", "text", "output format: text, json, or csv")
 		storeDir     = flag.String("store", "", "content-addressed result store directory (empty = no store)")
@@ -122,6 +123,10 @@ func main() {
 	if set["parallel"] {
 		p.Parallel = *parallel
 	}
+	if err := applyBackend(p, *backend); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	f, err := tdcache.ParseArtifactFormat(*format)
 	if err != nil {
@@ -143,6 +148,23 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "[%s in %v]\n", *experiment, time.Since(start).Round(time.Millisecond))
+}
+
+// applyBackend validates the -backend flag value and sets it on the
+// params. The empty string keeps the reference model (and the
+// pre-refactor parameter digest).
+func applyBackend(p *tdcache.ExperimentParams, name string) error {
+	if name == "" {
+		return nil
+	}
+	for _, b := range tdcache.Backends() {
+		if b == name {
+			p.Backend = name
+			return nil
+		}
+	}
+	return fmt.Errorf("tdcache-experiments: unknown backend %q (registered: %s)",
+		name, strings.Join(tdcache.Backends(), ", "))
 }
 
 // run regenerates one experiment (or all of them) in the requested

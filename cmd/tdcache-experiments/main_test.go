@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"tdcache"
+)
+
+func TestApplyBackendUnknown(t *testing.T) {
+	p := tdcache.QuickExperimentParams()
+	err := applyBackend(p, "nonesuch")
+	if err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	// The error must list the registered backends so the user can fix
+	// the flag without reading source.
+	for _, name := range tdcache.Backends() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list registered backend %q", err, name)
+		}
+	}
+	if p.Backend != "" {
+		t.Errorf("failed validation still set Backend = %q", p.Backend)
+	}
+}
+
+func TestApplyBackendKnown(t *testing.T) {
+	for _, name := range tdcache.Backends() {
+		p := tdcache.QuickExperimentParams()
+		if err := applyBackend(p, name); err != nil {
+			t.Errorf("applyBackend(%q) = %v", name, err)
+		}
+		if p.Backend != name {
+			t.Errorf("Backend = %q after applyBackend(%q)", p.Backend, name)
+		}
+	}
+}
+
+func TestApplyBackendEmptyKeepsDigest(t *testing.T) {
+	p := tdcache.QuickExperimentParams()
+	base := tdcache.ExperimentDigest(p)
+	if err := applyBackend(p, ""); err != nil {
+		t.Fatalf("empty backend: %v", err)
+	}
+	if got := tdcache.ExperimentDigest(p); got != base {
+		t.Errorf("empty -backend changed the parameter digest %q -> %q", base, got)
+	}
+}

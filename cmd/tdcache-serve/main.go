@@ -22,10 +22,12 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"tdcache/internal/artifact"
+	"tdcache/internal/circuit"
 	"tdcache/internal/experiments"
 	"tdcache/internal/serve"
 )
@@ -39,6 +41,7 @@ func main() {
 		maxInflight = flag.Int("max-inflight", 0, "admitted computes before shedding 503 (0 = 4x workers)")
 		cacheBytes  = flag.Int64("cache-bytes", 0, "in-memory hot-tier budget (0 = 64 MiB default, negative = disabled)")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
+		backend     = flag.String("backend", "", "cell backend for computed artifacts: "+strings.Join(circuit.BackendNames(), ", ")+" (default "+circuit.DefaultBackendName+")")
 	)
 	flag.Parse()
 	opts := serve.Options{
@@ -46,13 +49,19 @@ func main() {
 		MaxInflight: *maxInflight,
 		CacheBytes:  *cacheBytes,
 	}
-	if err := run(*addr, *storeDir, *pprofAddr, *parallel, opts); err != nil {
+	if err := run(*addr, *storeDir, *pprofAddr, *backend, *parallel, opts); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, storeDir, pprofAddr string, parallel int, opts serve.Options) error {
+func run(addr, storeDir, pprofAddr, backend string, parallel int, opts serve.Options) error {
+	if backend != "" {
+		if _, ok := circuit.LookupBackend(backend); !ok {
+			return fmt.Errorf("tdcache-serve: unknown backend %q (registered: %s)",
+				backend, strings.Join(circuit.BackendNames(), ", "))
+		}
+	}
 	st, err := artifact.NewStore(storeDir)
 	if err != nil {
 		return err
@@ -61,6 +70,11 @@ func run(addr, storeDir, pprofAddr string, parallel int, opts serve.Options) err
 	quick := experiments.QuickParams()
 	full.Parallel = parallel
 	quick.Parallel = parallel
+	// The backend is part of the parameter digest, so a backend-scoped
+	// server and a reference server can share one store directory
+	// without key collisions.
+	full.Backend = backend
+	quick.Backend = backend
 	opts.Store = st
 	opts.Full = full
 	opts.Quick = quick

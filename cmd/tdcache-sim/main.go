@@ -37,6 +37,18 @@ func parseScheme(s string) (tdcache.Scheme, bool, error) {
 	return tdcache.Scheme{}, false, fmt.Errorf("unknown scheme %q (ideal, lru, dsp, rsp-fifo, rsp-lru, global, full-lru)", s)
 }
 
+func parseBackend(s string) (string, error) {
+	if s == "" {
+		return "", nil
+	}
+	for _, b := range tdcache.Backends() {
+		if b == s {
+			return s, nil
+		}
+	}
+	return "", fmt.Errorf("unknown backend %q (%s)", s, strings.Join(tdcache.Backends(), ", "))
+}
+
 func parseScenario(s string) (tdcache.Scenario, error) {
 	switch strings.ToLower(s) {
 	case "none":
@@ -54,6 +66,7 @@ func main() {
 		bench        = flag.String("bench", "gzip", "benchmark: "+strings.Join(tdcache.Benchmarks(), ", "))
 		scheme       = flag.String("scheme", "ideal", "cache scheme: ideal, lru, dsp, rsp-fifo, rsp-lru, global, full-lru")
 		scenario     = flag.String("scenario", "severe", "variation scenario: none, typical, severe")
+		backend      = flag.String("backend", "", "cell backend: "+strings.Join(tdcache.Backends(), ", ")+" (default "+tdcache.DefaultBackend+")")
 		chipSeed     = flag.Uint64("chip-seed", 1, "Monte-Carlo chip seed")
 		seed         = flag.Uint64("seed", 1, "workload seed")
 		instructions = flag.Uint64("instructions", 500_000, "instructions to simulate")
@@ -65,6 +78,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	// Validated even for the ideal scheme (which samples no chip): a
+	// misspelled backend should never silently run the default model.
+	bk, err := parseBackend(*backend)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	opts := tdcache.SystemOptions{Benchmark: *bench, Scheme: sch, Seed: *seed}
 	if !ideal {
 		sc, err := parseScenario(*scenario)
@@ -72,7 +92,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		chip := tdcache.SampleChip(sc, *chipSeed)
+		chip, err := tdcache.SampleChipBackend(tdcache.Node32, sc, *chipSeed, bk)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		opts.Chip = chip
 		fmt.Printf("chip: cache retention %.0f ns, dead lines %.1f%%, counter step %d cycles\n",
 			chip.CacheRetentionNS, 100*chip.DeadFrac, chip.CounterStep)

@@ -1,0 +1,89 @@
+package circuit
+
+import "tdcache/internal/variation"
+
+// Backend3T1D is the reference CellBackend: the paper's 3T1D dynamic
+// cell, delegating to the calibrated decay model in cell3t1d.go and the
+// hoisted Monte-Carlo kernel in chipeval.go. It is a zero-size value
+// pre-bound into a package-level interface variable, so handing it to a
+// ChipEval or a montecarlo.Options never allocates.
+var Backend3T1D CellBackend = backend3T1D{}
+
+func init() { RegisterBackend(Backend3T1D) }
+
+type backend3T1D struct{}
+
+// Name implements CellBackend.
+func (backend3T1D) Name() string { return DefaultBackendName }
+
+// NominalRetention is the calibrated zero-deviation retention (§2.2).
+//
+//unit:result seconds
+func (backend3T1D) NominalRetention(t Tech) float64 { return t.Retention3T1D }
+
+// LineRetention delegates to the hoisted hot kernel.
+//
+//unit:result seconds
+func (backend3T1D) LineRetention(e ChipEval, line int) float64 {
+	return e.lineRetention3T1D(line)
+}
+
+// RetentionMap evaluates every line through the hoisted kernel. The
+// per-line loop runs inside the backend so the interface is crossed
+// once per chip, not once per line.
+//
+//unit:result seconds
+func (backend3T1D) RetentionMap(e ChipEval) []float64 {
+	m := make([]float64, e.Geom.Lines)
+	for l := range m {
+		m[l] = e.lineRetention3T1D(l)
+	}
+	return m
+}
+
+// AccessTime is the Fig. 4 curve for the requested corner.
+//
+//unit:param elapsed seconds
+//unit:result seconds
+func (backend3T1D) AccessTime(t Tech, c Corner, elapsed float64) float64 {
+	return t.AccessTime3T1D(cornerCell3T1D(c), elapsed)
+}
+
+// LeakageFactor is the Fig. 7 normalization versus the golden 6T.
+//
+//unit:result dimensionless
+func (backend3T1D) LeakageFactor(e ChipEval) float64 { return e.Leakage3T1DFactor() }
+
+// Policy implements CellBackend: the §4.3.1 per-chip adaptive counter
+// discipline.
+func (backend3T1D) Policy() Policy {
+	return Policy{Kind: PolicyRefreshCounter, RetentionClasses: 1}
+}
+
+// DigestParams implements CellBackend. The 3T1D model is configured
+// entirely by circuit.Tech, which the params digest already hashes
+// field by field, so the backend contributes nothing extra — which is
+// also what keeps pre-refactor 3T1D digests byte-identical.
+func (backend3T1D) DigestParams() []BackendParam { return nil }
+
+// cornerCell3T1D mirrors Fig. 4's corner construction: the read path
+// (T2, T3) displaced by ±1σ of typical variation.
+func cornerCell3T1D(c Corner) Cell3T1D {
+	sl := variation.Typical.SigmaLWithin
+	sv := variation.Typical.SigmaVth
+	switch c {
+	case CornerNominal:
+		return Nominal3T1D
+	case CornerWeak:
+		return Cell3T1D{
+			T2: Device{DL: sl, DVth: sv},
+			T3: Device{DL: sl, DVth: sv},
+		}
+	case CornerStrong:
+		return Cell3T1D{
+			T2: Device{DL: -sl, DVth: -sv},
+			T3: Device{DL: -sl, DVth: -sv},
+		}
+	}
+	return Nominal3T1D
+}

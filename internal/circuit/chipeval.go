@@ -68,6 +68,21 @@ type ChipEval struct {
 	Tech Tech
 	Geom Geometry
 	Chip *variation.Chip
+	// Backend selects the cell-physics model producing the retention
+	// map and cell-leakage figures; nil means the reference 3T1D model
+	// (Backend3T1D). The 6T SRAM figures (SRAM*) are the comparison
+	// baseline and stay backend-independent.
+	Backend CellBackend
+}
+
+// ActiveBackend returns the effective cell backend (Backend3T1D when
+// the field is unset). Both candidates are pre-bound package values,
+// so the returned interface never allocates.
+func (e ChipEval) ActiveBackend() CellBackend {
+	if e.Backend != nil {
+		return e.Backend
+	}
+	return Backend3T1D
 }
 
 // NewChipEval bundles a technology, geometry, and chip sample.
@@ -88,15 +103,22 @@ func (e ChipEval) cellDevice(line, cell int, slot uint8, tileX, tileY int) Devic
 	}
 }
 
-// LineRetention returns the retention time (seconds) of one cache line:
-// the minimum retention over its data and tag cells (§4.3.1 — a line's
-// retention is defined by its worst cell so no data is ever lost during
-// it). It uses a hoisted kernel algebraically identical to
-// Tech.RetentionTime (asserted by tests) because this is the hot path of
-// every Monte-Carlo study.
+// LineRetention returns the retention time (seconds) of one cache line
+// under the active cell backend: the minimum retention over its data
+// and tag cells (§4.3.1 — a line's retention is defined by its worst
+// cell so no data is ever lost during it).
 //
 //unit:result seconds
 func (e ChipEval) LineRetention(line int) float64 {
+	return e.ActiveBackend().LineRetention(e, line)
+}
+
+// lineRetention3T1D is the 3T1D backend's line kernel: a hoisted form
+// algebraically identical to Tech.RetentionTime (asserted by tests)
+// because this is the hot path of every Monte-Carlo study.
+//
+//unit:result seconds
+func (e ChipEval) lineRetention3T1D(line int) float64 {
 	x0, x1, y := e.Geom.LineTiles(line)
 	p0 := e.tileParams(x0, y)
 	p1 := e.tileParams(x1, y)
@@ -194,15 +216,21 @@ func (e ChipEval) cellRetention(p *tileParams, g1, g2, g3 float64) float64 {
 	return margin * p.invDecay / retLeak
 }
 
-// RetentionMap returns the retention time of every line, in seconds.
+// RetentionMap returns the retention time of every line, in seconds,
+// produced by the active cell backend. The interface is crossed once
+// per chip; the per-line loop runs inside the backend.
 //
 //unit:result seconds
 func (e ChipEval) RetentionMap() []float64 {
-	m := make([]float64, e.Geom.Lines)
-	for l := range m {
-		m[l] = e.LineRetention(l)
-	}
-	return m
+	return e.ActiveBackend().RetentionMap(e)
+}
+
+// CellLeakageFactor returns the active backend's cache leakage relative
+// to the golden 6T design (the Fig. 7 normalization).
+//
+//unit:result dimensionless
+func (e ChipEval) CellLeakageFactor() float64 {
+	return e.ActiveBackend().LeakageFactor(e)
 }
 
 // CacheRetention returns the whole-cache retention under the global

@@ -33,4 +33,8 @@ const (
 	// GigahertzPeriodPicoseconds is the period of a 1 GHz clock in
 	// picoseconds.
 	GigahertzPeriodPicoseconds = 1000 //unit:picoseconds*gigahertz
+	// OneSecond is the SI reference second. Dividing a time in seconds
+	// by it erases the dimension on purpose — the idiom for feeding a
+	// physical quantity into unit-blind sinks like digest hashing.
+	OneSecond = 1.0 //unit:seconds
 )

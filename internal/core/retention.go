@@ -19,13 +19,22 @@ const Infinite = int64(math.MaxInt64 / 4)
 // values: floor to a multiple of the counter step N (conservative — the
 // counter must never overestimate), capped at the counter's maximum
 // (2^bits - 1)·N. Retention below one step quantizes to zero: the line
-// is dead (§4.3.2).
+// is dead (§4.3.2). Non-positive and NaN retention also quantizes to
+// zero — extreme variation tails can drive a decay model negative, and
+// a counter must never hold a negative value.
 func QuantizeRetention(seconds []float64, cycleTime float64, step int64, bits int) RetentionMap {
 	maxVal := (int64(1)<<uint(bits) - 1) * step
 	m := make(RetentionMap, len(seconds))
 	for i, s := range seconds {
-		cycles := int64(s / cycleTime)
-		q := cycles / step * step
+		if !(s > 0) {
+			continue // negative, zero, or NaN: the line is dead (m[i] stays 0)
+		}
+		cycles := s / cycleTime
+		if cycles >= float64(maxVal) {
+			m[i] = maxVal // also guards +Inf and int64 overflow
+			continue
+		}
+		q := int64(cycles) / step * step
 		if q > maxVal {
 			q = maxVal
 		}
@@ -50,6 +59,25 @@ func ChooseCounterStep(seconds []float64, cycleTime float64, bits int) int64 {
 	levels := int64(1)<<uint(bits) - 1
 	step := (maxCycles + levels - 1) / levels
 	// Round up to a multiple of 256.
+	step = (step + 255) / 256 * 256
+	if step < 256 {
+		step = 256
+	}
+	return step
+}
+
+// DeadlineCounterStep picks the line-counter step N from an
+// architectural retention deadline (seconds) shared by every chip,
+// rather than from the chip's own retention range. Backends with
+// discrete retention classes need this: the adaptive ChooseCounterStep
+// would key N on the longest (high-class) line and quantize every
+// relaxed-class line to zero, erasing the asymmetry the placement
+// schemes exploit. The step keeps ChooseCounterStep's implementability
+// floor (a multiple of 256 cycles, at least 256).
+func DeadlineCounterStep(deadlineSec, cycleTime float64, bits int) int64 {
+	cycles := int64(deadlineSec / cycleTime)
+	levels := int64(1)<<uint(bits) - 1
+	step := (cycles + levels - 1) / levels
 	step = (step + 255) / 256 * 256
 	if step < 256 {
 		step = 256

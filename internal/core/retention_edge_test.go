@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestQuantizeRetentionEdges pins the quantizer's contract at the ugly
+// ends of the retention distribution: extreme variation tails can drive
+// a decay model to a negative or NaN retention, and the counter must
+// treat every such line as dead rather than wrap into a huge bogus
+// deadline.
+func TestQuantizeRetentionEdges(t *testing.T) {
+	const (
+		cycleTime = 0.25e-9 // 4GHz
+		step      = int64(256)
+		bits      = 3
+	)
+	maxVal := (int64(1)<<uint(bits) - 1) * step
+
+	cases := []struct {
+		name    string
+		seconds float64
+		want    int64
+	}{
+		{"negative", -1e-6, 0},
+		{"negative-tiny", -math.SmallestNonzeroFloat64, 0},
+		{"nan", math.NaN(), 0},
+		{"zero", 0, 0},
+		{"below-one-step", float64(step-1) * cycleTime, 0},
+		{"exactly-one-step", float64(step) * cycleTime, step},
+		{"mid-range-floors", float64(step*3+step/2) * cycleTime, step * 3},
+		{"at-cap", float64(maxVal) * cycleTime, maxVal},
+		{"above-cap", 2 * float64(maxVal) * cycleTime, maxVal},
+		{"plus-inf", math.Inf(1), maxVal},
+		{"minus-inf", math.Inf(-1), 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := QuantizeRetention([]float64{tc.seconds}, cycleTime, step, bits)
+			if got := m[0]; got != tc.want {
+				t.Errorf("QuantizeRetention(%v) = %d, want %d", tc.seconds, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestChooseCounterStepEdges exercises the step chooser where the
+// retention population degenerates.
+func TestChooseCounterStepEdges(t *testing.T) {
+	const cycleTime = 0.25e-9
+
+	t.Run("all-zero", func(t *testing.T) {
+		// A fully dead chip still needs an implementable counter clock:
+		// the 256-cycle floor, not zero.
+		if got := ChooseCounterStep([]float64{0, 0, 0}, cycleTime, 3); got != 256 {
+			t.Errorf("step = %d, want the 256-cycle floor", got)
+		}
+	})
+
+	t.Run("empty", func(t *testing.T) {
+		if got := ChooseCounterStep(nil, cycleTime, 3); got != 256 {
+			t.Errorf("step = %d, want the 256-cycle floor", got)
+		}
+	})
+
+	t.Run("single-enormous-outlier", func(t *testing.T) {
+		// One line at one second (~4e9 cycles) among microsecond lines:
+		// the step must key on the outlier (the counter has to be able
+		// to represent the longest line), rounded up to a multiple of
+		// 256 cycles.
+		seconds := []float64{5e-6, 6e-6, 1.0}
+		got := ChooseCounterStep(seconds, cycleTime, 3)
+		maxCycles := int64(1.0 / cycleTime)
+		levels := int64(7)
+		wantMin := maxCycles / levels // any smaller and the outlier overflows
+		if got < wantMin {
+			t.Errorf("step = %d cannot represent the outlier (need >= %d)", got, wantMin)
+		}
+		if got%256 != 0 {
+			t.Errorf("step = %d is not a multiple of 256", got)
+		}
+		// Upper bound: ceiling division adds at most 1, rounding to a
+		// multiple of 256 at most 255 more.
+		if slack := got - wantMin; slack > 256 {
+			t.Errorf("step = %d overshoots the outlier bound %d by %d", got, wantMin, slack)
+		}
+	})
+
+	t.Run("bits-1", func(t *testing.T) {
+		// A 1-bit counter has a single live level: the step must cover
+		// the whole range by itself.
+		seconds := []float64{100e-6}
+		got := ChooseCounterStep(seconds, cycleTime, 1)
+		maxCycles := int64(100e-6 / cycleTime)
+		if got < maxCycles {
+			t.Errorf("step = %d, want >= %d (one level must span the range)", got, maxCycles)
+		}
+		if got%256 != 0 {
+			t.Errorf("step = %d is not a multiple of 256", got)
+		}
+	})
+}
+
+// TestDeadlineCounterStep pins the class-deadline variant used by
+// retention-class backends: the step derives from the architectural
+// deadline, keeps the 256-cycle floor and granularity, and is
+// independent of any chip's own retention draw.
+func TestDeadlineCounterStep(t *testing.T) {
+	const cycleTime = 0.25e-9
+
+	t.Run("floor", func(t *testing.T) {
+		if got := DeadlineCounterStep(1e-9, cycleTime, 3); got != 256 {
+			t.Errorf("step = %d, want the 256-cycle floor", got)
+		}
+	})
+
+	t.Run("covers-deadline", func(t *testing.T) {
+		deadline := 52.8e-6
+		got := DeadlineCounterStep(deadline, cycleTime, 3)
+		levels := int64(7)
+		cycles := int64(deadline / cycleTime)
+		if got*levels < cycles {
+			t.Errorf("step %d × %d levels = %d cycles cannot reach the deadline (%d cycles)",
+				got, levels, got*levels, cycles)
+		}
+		if got%256 != 0 {
+			t.Errorf("step = %d is not a multiple of 256", got)
+		}
+	})
+}

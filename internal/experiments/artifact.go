@@ -13,10 +13,17 @@ import (
 
 // Digest returns the content hash of everything that shapes an
 // experiment's output: the technology node, the root seed, the
-// population and run sizes, the benchmark selection, and the artifact
-// schema version. Params.Parallel is deliberately excluded — the sweep
-// engine guarantees output is byte-identical regardless of worker
-// count, so parallelism must not fragment the result store.
+// population and run sizes, the benchmark selection, the cell backend,
+// and the artifact schema version. Params.Parallel is deliberately
+// excluded — the sweep engine guarantees output is byte-identical
+// regardless of worker count, so parallelism must not fragment the
+// result store.
+//
+// The backend enters the hash only when it is not the default: "" and
+// "3t1d" both contribute nothing, keeping every pre-refactor 3T1D
+// digest (and therefore every stored artifact key) byte-identical. A
+// non-default backend hashes its name plus its DigestParams, so store
+// keys can never collide across backends or backend configurations.
 func Digest(p *Params) string {
 	h := artifact.NewHasher()
 	h.Int("schema", artifact.SchemaVersion)
@@ -26,6 +33,14 @@ func Digest(p *Params) string {
 	h.Int("dist_chips", int64(p.DistChips))
 	h.Uint("instructions", p.Instructions)
 	h.Strings("benchmarks", p.Benchmarks)
+	if p.Backend != "" && p.Backend != circuit.DefaultBackendName {
+		h.String("backend", p.Backend)
+		if b, ok := circuit.LookupBackend(p.Backend); ok {
+			for _, bp := range b.DigestParams() {
+				h.Uint("backend."+bp.Name, math.Float64bits(bp.Value))
+			}
+		}
+	}
 	return h.Sum()
 }
 
@@ -604,6 +619,86 @@ func (r *GlobalRefreshResult) ArtifactTable() *artifact.Table {
 		artifact.Met("normalized_perf", artifact.UnitRatio, r.NormalizedPerf),
 		artifact.Met("global_passes", artifact.UnitCount, float64(r.GlobalPasses)),
 	}
+	return t
+}
+
+// ---- dvfs ----
+
+// ArtifactID implements artifact.Artifact.
+func (r *DVFSResult) ArtifactID() string { return "dvfs" }
+
+// Print emits the paper-shaped text form via the artifact text encoder.
+func (r *DVFSResult) Print(w io.Writer) { printArtifact(w, r) }
+
+// ArtifactTable builds the long-form (chip, scheme, freq_scale, perf,
+// dead_frac) table.
+func (r *DVFSResult) ArtifactTable() *artifact.Table {
+	t := newTable("dvfs", r.Prov)
+	var chip, scheme []string
+	var scale, perf, dead []float64
+	for ci, name := range dvfsChipNames {
+		for si, s := range DVFSSchemes {
+			for li, lvl := range r.Levels {
+				chip = append(chip, name)
+				scheme = append(scheme, schemeKey(s))
+				scale = append(scale, lvl)
+				perf = append(perf, r.Perf[ci][si][li])
+				dead = append(dead, r.DeadFrac[ci][li])
+			}
+		}
+	}
+	t.Columns = []artifact.Column{
+		artifact.Strings("chip", chip),
+		artifact.Strings("scheme", scheme),
+		artifact.Floats("freq_scale", artifact.UnitRatio, scale),
+		artifact.Floats("perf", artifact.UnitRatio, perf),
+		artifact.Floats("dead_frac", artifact.UnitFraction, dead),
+	}
+	t.Metrics = []artifact.Metric{
+		artifact.Met("counter_step", artifact.UnitCycles, float64(r.CounterStep)),
+		artifact.Met("good_chip", artifact.UnitCount, float64(r.ChipIdx[0])),
+		artifact.Met("median_chip", artifact.UnitCount, float64(r.ChipIdx[1])),
+		artifact.Met("bad_chip", artifact.UnitCount, float64(r.ChipIdx[2])),
+	}
+	t.Attrs = map[string]string{"backend": r.Backend}
+	return t
+}
+
+// ---- sttyield ----
+
+// ArtifactID implements artifact.Artifact.
+func (r *STTYieldResult) ArtifactID() string { return "sttyield" }
+
+// Print emits the paper-shaped text form via the artifact text encoder.
+func (r *STTYieldResult) Print(w io.Writer) { printArtifact(w, r) }
+
+// ArtifactTable builds the long-form (config, hi_ways, dead_ceiling,
+// yield) table with the per-config population summaries as extra
+// columns.
+func (r *STTYieldResult) ArtifactTable() *artifact.Table {
+	t := newTable("sttyield", r.Prov)
+	var config []string
+	var hiWays []int64
+	var ceiling, yield, meanDead, meanAlive []float64
+	for ci, name := range r.Configs {
+		for ti, th := range r.Thresholds {
+			config = append(config, name)
+			hiWays = append(hiWays, int64(r.HiWays[ci]))
+			ceiling = append(ceiling, th)
+			yield = append(yield, r.Yield[ci][ti])
+			meanDead = append(meanDead, r.MeanDeadFrac[ci])
+			meanAlive = append(meanAlive, r.MeanAliveNS[ci])
+		}
+	}
+	t.Columns = []artifact.Column{
+		artifact.Strings("config", config),
+		artifact.Ints("hi_ways", artifact.UnitCount, hiWays),
+		artifact.Floats("dead_ceiling", artifact.UnitFraction, ceiling),
+		artifact.Floats("yield", artifact.UnitFraction, yield),
+		artifact.Floats("mean_dead_frac", artifact.UnitFraction, meanDead),
+		artifact.Floats("mean_alive", artifact.UnitNanoseconds, meanAlive),
+	}
+	t.Attrs = map[string]string{"backend": r.Backend}
 	return t
 }
 

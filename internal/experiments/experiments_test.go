@@ -129,7 +129,7 @@ func TestFig12Shapes(t *testing.T) {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"fig1", "fig4", "fig6a", "fig6b", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig12pts", "yield", "tab1", "tab2", "tab3", "sec4.1"}
+	want := []string{"fig1", "fig4", "fig6a", "fig6b", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig12pts", "yield", "dvfs", "sttyield", "tab1", "tab2", "tab3", "sec4.1"}
 	for _, id := range want {
 		sp, ok := Lookup(id)
 		if !ok {

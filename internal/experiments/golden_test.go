@@ -119,6 +119,7 @@ func TestParamsDigest(t *testing.T) {
 		"Instructions": func(p *Params) { p.Instructions++ },
 		"Benchmarks":   func(p *Params) { p.Benchmarks = p.Benchmarks[:len(p.Benchmarks)-1] },
 		"Tech":         func(p *Params) { p.Tech.FreqGHz *= 2 },
+		"Backend":      func(p *Params) { p.Backend = circuit.STTRAMBackend.Name() },
 	}
 	for name, mutate := range mutations {
 		p := QuickParams()
@@ -132,6 +133,15 @@ func TestParamsDigest(t *testing.T) {
 	p.Parallel = 7
 	if Digest(p) != Digest(base) {
 		t.Error("digest must ignore Parallel: output is byte-identical across worker counts")
+	}
+
+	// The reference backend is the digest's zero value: naming it
+	// explicitly must not produce a second store key for the same bytes,
+	// and every pre-refactor digest (Backend == "") must stay valid.
+	p = QuickParams()
+	p.Backend = circuit.DefaultBackendName
+	if Digest(p) != Digest(base) {
+		t.Error(`digest must treat Backend "" and "3t1d" identically: pre-refactor store keys must stay valid`)
 	}
 
 	// hashTech lists Tech's fields explicitly; walk the struct with

@@ -64,6 +64,10 @@ type Params struct {
 	// restores fully sequential execution. Output is identical either
 	// way; Parallel only changes wall-clock time.
 	Parallel int
+	// Backend names the registered cell backend producing retention
+	// maps ("" and "3t1d" both select the reference 3T1D model and
+	// digest identically, so pre-refactor store keys stay valid).
+	Backend string
 
 	// rig holds the shared mutable compute machinery. It is a pointer so
 	// WithTech can copy the Params value while every derivation keeps
@@ -112,6 +116,7 @@ type studyKey struct {
 	vdd      float64
 	scenario string
 	chips    int
+	backend  string
 }
 
 // DefaultParams returns the full-size experiment configuration.
@@ -149,6 +154,29 @@ func (p *Params) WithTech(t circuit.Tech) *Params {
 	q := *p
 	q.Tech = t
 	return &q
+}
+
+// WithBackend derives a Params running a different registered cell
+// backend: a value copy sharing the receiver's compute rig (study memo
+// keys embed the backend name, so derivations never collide). Like
+// WithTech, a derivation must drive the pool from the same coordinator
+// as its parent.
+func (p *Params) WithBackend(name string) *Params {
+	q := *p
+	q.Backend = name
+	return &q
+}
+
+// backend resolves the Params' cell backend against the circuit
+// registry ("" resolves to the reference 3T1D backend). The CLI
+// validates -backend up front, so a failed lookup here is a programming
+// error.
+func (p *Params) backend() circuit.CellBackend {
+	b, ok := circuit.LookupBackend(p.Backend)
+	if !ok {
+		panic("experiments: unknown backend " + p.Backend)
+	}
+	return b
 }
 
 // Clone returns a copy of p that may coordinate builds concurrently
@@ -326,19 +354,21 @@ func (p *Params) baseline(w *sweep.Worker, bench string, sets, ways int) runResu
 // pool to the Monte-Carlo engine, so it must only be called from the top
 // level of an experiment, never from inside a sweep job.
 func (p *Params) study(sc variation.Scenario, chips int) *montecarlo.Study {
-	key := studyKey{p.Tech.Name, p.Tech.Vdd, sc.Name, chips}
+	backend := p.backend()
+	key := studyKey{p.Tech.Name, p.Tech.Vdd, sc.Name, chips, backend.Name()}
 	memo := &p.ensureRig().memos.study
 	if st, ok := memo.Lookup(key); ok {
 		return st
 	}
 	// The pool is resolved before the kernel so the memoized closure
 	// captures only immutable state (Pool() lazily builds the rig's pool,
-	// which would otherwise be a captured-receiver mutation).
+	// which would otherwise be a captured-receiver mutation; the backend
+	// is a pre-bound immutable registry value).
 	pool := p.Pool()
 	return memo.Do(key, func() *montecarlo.Study {
 		return montecarlo.New(montecarlo.Options{
 			Tech: p.Tech, Scenario: sc, Seed: p.Seed ^ 0xc41b, Chips: chips,
-			Pool: pool,
+			Backend: backend, Pool: pool,
 		})
 	})
 }

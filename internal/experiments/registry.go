@@ -60,6 +60,10 @@ var Specs = []Spec{
 		func(p *Params) artifact.Artifact { return GlobalRefreshNoVariation(p) }},
 	{"yield", "Yield curves under severe variation", artifact.KindExtension,
 		func(p *Params) artifact.Artifact { return Yield(p) }},
+	{"dvfs", "STT-RAM DVFS sweep: frequency scale vs. retention deadline", artifact.KindExtension,
+		func(p *Params) artifact.Artifact { return DVFS(p) }},
+	{"sttyield", "STT-RAM retention-class yield under severe variation", artifact.KindExtension,
+		func(p *Params) artifact.Artifact { return STTYield(p) }},
 }
 
 // Lookup finds a spec by ID.

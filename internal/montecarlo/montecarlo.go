@@ -44,16 +44,21 @@ type Chip struct {
 }
 
 // Study is a population of evaluated chips for one (technology,
-// scenario) pair.
+// scenario, backend) triple.
 type Study struct {
 	Tech     circuit.Tech
 	Scenario variation.Scenario
 	Seed     uint64
+	// Backend is the registry name of the cell backend that produced
+	// the retention maps ("3t1d" for the reference model).
+	Backend string
 	// CounterStep and CounterBits are the retention-counter parameters
 	// used for quantization.
 	CounterStep int64
 	CounterBits int
 	Chips       []Chip
+
+	backend circuit.CellBackend
 }
 
 // Options configures a Study.
@@ -62,8 +67,14 @@ type Options struct {
 	Scenario variation.Scenario
 	Seed     uint64
 	Chips    int
+	// Backend is the cell-physics model evaluated per chip; nil means
+	// the reference 3T1D backend (circuit.Backend3T1D).
+	Backend circuit.CellBackend
 	// CounterStep forces a fixed counter step for every chip; 0 (the
-	// default) selects each chip's step adaptively at test time.
+	// default) selects each chip's step per the backend's policy:
+	// adaptively at test time for refresh-counter backends (§4.3.1), or
+	// from the backend's architectural deadline for class-deadline
+	// backends.
 	CounterStep int64
 	CounterBits int // defaults to core.DefaultConfig's
 	// Pool is the worker pool chip evaluation fans out over; nil builds
@@ -78,13 +89,19 @@ func New(o Options) *Study {
 	if o.CounterBits == 0 {
 		o.CounterBits = core.DefaultConfig(core.NoRefreshLRU).CounterBits
 	}
+	backend := o.Backend
+	if backend == nil {
+		backend = circuit.Backend3T1D
+	}
 	s := &Study{
 		Tech:        o.Tech,
 		Scenario:    o.Scenario,
 		Seed:        o.Seed,
+		Backend:     backend.Name(),
 		CounterStep: o.CounterStep,
 		CounterBits: o.CounterBits,
 		Chips:       make([]Chip, o.Chips),
+		backend:     backend,
 	}
 	chips := variation.Population(o.Seed, o.Chips, o.Scenario, circuit.L1D.TileCols, circuit.L1D.TileRows)
 	pool := o.Pool
@@ -102,10 +119,16 @@ func New(o Options) *Study {
 
 func evaluate(s *Study, idx int, ch *variation.Chip) Chip {
 	e := circuit.NewChipEval(s.Tech, circuit.L1D, ch)
+	e.Backend = s.backend
 	sec := e.RetentionMap()
 	step := s.CounterStep
 	if step == 0 {
-		step = core.ChooseCounterStep(sec, s.Tech.CycleSeconds(), s.CounterBits)
+		switch pol := s.backend.Policy(); pol.Kind {
+		case circuit.PolicyRefreshCounter:
+			step = core.ChooseCounterStep(sec, s.Tech.CycleSeconds(), s.CounterBits)
+		case circuit.PolicyClassDeadline:
+			step = core.DeadlineCounterStep(pol.CounterDeadlineSec, s.Tech.CycleSeconds(), s.CounterBits)
+		}
 	}
 	q := core.QuantizeRetention(sec, s.Tech.CycleSeconds(), step, s.CounterBits)
 	min := sec[0]
@@ -125,7 +148,7 @@ func evaluate(s *Study, idx int, ch *variation.Chip) Chip {
 		Freq1X:           e.SRAMFrequencyFactor(circuit.SRAM1X),
 		Freq2X:           e.SRAMFrequencyFactor(circuit.SRAM2X),
 		Leak6T1X:         e.SRAMLeakageFactor(circuit.SRAM1X),
-		Leak3T1D:         e.Leakage3T1DFactor(),
+		Leak3T1D:         e.CellLeakageFactor(),
 		Unstable1X:       e.SRAMUnstableFraction(circuit.SRAM1X),
 	}
 }

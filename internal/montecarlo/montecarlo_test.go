@@ -4,12 +4,39 @@ import (
 	"testing"
 
 	"tdcache/internal/circuit"
+	"tdcache/internal/core"
 	"tdcache/internal/variation"
 )
 
 func smallStudy(t *testing.T, sc variation.Scenario, n int) *Study {
 	t.Helper()
 	return New(Options{Tech: circuit.Node32, Scenario: sc, Seed: 99, Chips: n})
+}
+
+// TestBackendStudyPolicySwitch pins the counter-step discipline per
+// backend: the 3T1D reference adapts the step to each chip's retention
+// range, while a class-deadline backend (STT-RAM) anchors every chip's
+// step to the policy's architectural deadline.
+func TestBackendStudyPolicySwitch(t *testing.T) {
+	s := New(Options{Tech: circuit.Node32, Scenario: variation.Typical, Seed: 99,
+		Chips: 3, Backend: circuit.STTRAMBackend})
+	if s.Backend != circuit.STTRAMBackend.Name() {
+		t.Errorf("Study.Backend = %q, want %q", s.Backend, circuit.STTRAMBackend.Name())
+	}
+	pol := circuit.STTRAMBackend.Policy()
+	want := core.DeadlineCounterStep(pol.CounterDeadlineSec, s.Tech.CycleSeconds(), s.CounterBits)
+	for i, c := range s.Chips {
+		if c.CounterStep != want {
+			t.Errorf("chip %d counter step %d, want the deadline-anchored %d", i, c.CounterStep, want)
+		}
+		if len(c.Retention) != circuit.L1D.Lines {
+			t.Errorf("chip %d retention map sized %d", i, len(c.Retention))
+		}
+	}
+	ref := smallStudy(t, variation.Typical, 3)
+	if ref.Backend != circuit.DefaultBackendName {
+		t.Errorf("default Study.Backend = %q, want %q", ref.Backend, circuit.DefaultBackendName)
+	}
 }
 
 func TestStudyShape(t *testing.T) {

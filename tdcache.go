@@ -36,6 +36,7 @@ package tdcache
 import (
 	"fmt"
 	"io"
+	"strings"
 
 	"tdcache/internal/artifact"
 	"tdcache/internal/circuit"
@@ -133,6 +134,13 @@ var (
 // Benchmarks lists the eight SPEC2000 proxy workloads.
 func Benchmarks() []string { return workload.Names() }
 
+// DefaultBackend is the registry name of the reference 3T1D cell model.
+// An empty backend name selects it everywhere a name is accepted.
+const DefaultBackend = circuit.DefaultBackendName
+
+// Backends lists the registered cell-physics backends in sorted order.
+func Backends() []string { return circuit.BackendNames() }
+
 // Chip is one sampled die: its retention map plus circuit figures.
 type Chip = montecarlo.Chip
 
@@ -145,6 +153,18 @@ func SampleChip(sc Scenario, seed uint64) *Chip {
 func SampleChipAt(tech Tech, sc Scenario, seed uint64) *Chip {
 	s := montecarlo.New(montecarlo.Options{Tech: tech, Scenario: sc, Seed: seed, Chips: 1})
 	return &s.Chips[0]
+}
+
+// SampleChipBackend samples one chip under the named cell backend
+// (see Backends; "" selects the 3T1D reference model). Unknown names
+// error rather than silently falling back.
+func SampleChipBackend(tech Tech, sc Scenario, seed uint64, backend string) (*Chip, error) {
+	b, ok := circuit.LookupBackend(backend)
+	if !ok {
+		return nil, fmt.Errorf("tdcache: unknown backend %q (registered: %s)", backend, strings.Join(Backends(), ", "))
+	}
+	s := montecarlo.New(montecarlo.Options{Tech: tech, Scenario: sc, Seed: seed, Chips: 1, Backend: b})
+	return &s.Chips[0], nil
 }
 
 // SampleChips samples a population of n chips (a Monte-Carlo study).

@@ -97,9 +97,35 @@ func TestSampleChipsStudy(t *testing.T) {
 	_ = m
 }
 
+func TestBackendFacade(t *testing.T) {
+	names := Backends()
+	if len(names) < 2 || names[0] != DefaultBackend {
+		t.Fatalf("Backends() = %v, want the reference backend %q first", names, DefaultBackend)
+	}
+	ref, err := SampleChipBackend(Node32, Typical, 7, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := SampleChip(Typical, 7)
+	if ref.CacheRetentionNS != def.CacheRetentionNS || ref.DeadFrac != def.DeadFrac {
+		t.Error("empty backend name diverges from the default sampler")
+	}
+	stt, err := SampleChipBackend(Node32, Typical, 7, "sttram")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stt.CacheRetentionNS == ref.CacheRetentionNS {
+		t.Error("sttram chip indistinguishable from 3t1d chip")
+	}
+	if _, err := SampleChipBackend(Node32, Typical, 7, "nonesuch"); err == nil ||
+		!strings.Contains(err.Error(), "sttram") {
+		t.Errorf("unknown backend error %v must list registered names", err)
+	}
+}
+
 func TestExperimentRegistryFacade(t *testing.T) {
 	ids := Experiments()
-	if len(ids) != 16 {
+	if len(ids) != 18 {
 		t.Fatalf("experiments = %v", ids)
 	}
 	var buf bytes.Buffer
